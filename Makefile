@@ -1,0 +1,29 @@
+# Convenience targets for the RABIT reproduction.
+
+.PHONY: install test bench examples campaign latency clean
+
+install:
+	pip install -e .[dev]
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/solubility_experiment.py
+	python examples/multi_robot.py
+	python examples/three_stage_validation.py
+	python examples/failsafe_and_sensors.py
+
+campaign:
+	python -m repro campaign
+
+latency:
+	python -m repro latency
+
+clean:
+	rm -rf .pytest_cache benchmarks/results __pycache__
+	find . -name "__pycache__" -type d -exec rm -rf {} +

@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures and table emission.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered tables are printed (visible with ``pytest -s``) **and** written
+to ``benchmarks/results/<name>.txt`` so a run always leaves comparable
+artifacts behind, and key paper-vs-measured values are attached to the
+pytest-benchmark ``extra_info`` of the timed kernel.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.faults.campaign import CampaignResult, run_campaign
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def campaign_result() -> CampaignResult:
+    """The full 16-bug x 3-configuration campaign (run once per session)."""
+    return run_campaign()

@@ -1,0 +1,83 @@
+"""Figs. 5 & 6 — the four annotated bugs A, B, C, D.
+
+Per-bug reproduction of the paper's narrative:
+
+- **Bug A** (door not re-opened): RABIT raised an alert — all revisions.
+- **Bug B** (two-arm collision): "RABIT did not raise an alarm"; the
+  ground truth records the collision; multiplexing prevents it.
+- **Bug C** (pick omitted): "RABIT did not raise an alarm, and the
+  remaining experiment continued without a vial."
+- **Bug D** (pickup z 0.10 -> 0.08 while holding): missed by initial
+  RABIT (vial crashes and breaks), detected after the held-object fix.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.faults.campaign import CAMPAIGN_BUGS, run_bug
+
+FIG56 = {"Bug A": "H1", "Bug B": "MH4", "Bug C": "L2", "Bug D": "ML1"}
+
+
+def test_fig56_bug_stories(emit, campaign_result, benchmark):
+    outcomes = {
+        (o.bug.bug_id, o.config): o for o in campaign_result.outcomes
+    }
+
+    rows = []
+    for figure_name, bug_id in FIG56.items():
+        initial = outcomes[(bug_id, "initial")]
+        modified = outcomes[(bug_id, "modified")]
+        rows.append(
+            [
+                figure_name,
+                initial.bug.title[:48],
+                "alert" if initial.detected else "missed",
+                "alert" if modified.detected else "missed",
+                ", ".join(sorted({d.kind for d in modified.damage})) or "-",
+            ]
+        )
+    rendered = format_table(
+        ["bug", "description", "initial RABIT", "modified RABIT", "ground-truth damage (modified)"],
+        rows,
+        title="Figs. 5 & 6 — the annotated bugs A-D",
+    )
+    emit("fig56_bugs", rendered)
+
+    # Bug A: detected by every revision, before any damage.
+    for config in ("initial", "modified", "modified_es"):
+        o = outcomes[(FIG56["Bug A"], config)]
+        assert o.detected and o.damage == ()
+
+    # Bug B: never detected; arms physically collide.
+    for config in ("initial", "modified", "modified_es"):
+        o = outcomes[(FIG56["Bug B"], config)]
+        assert not o.detected
+        assert any(d.kind == "arm_collision" for d in o.damage)
+
+    # Bug C: never detected; run completes; dosing spills.
+    for config in ("initial", "modified", "modified_es"):
+        o = outcomes[(FIG56["Bug C"], config)]
+        assert not o.detected and o.completed
+        assert any(d.kind == "solid_spill" for d in o.damage)
+
+    # Bug D: initial misses (vial breaks); modified prevents (no damage).
+    o_initial = outcomes[(FIG56["Bug D"], "initial")]
+    assert not o_initial.detected
+    assert any(d.kind == "vial_crushed" for d in o_initial.damage)
+    o_modified = outcomes[(FIG56["Bug D"], "modified")]
+    assert o_modified.detected and o_modified.damage == ()
+
+    # Timed kernel: Bug D under initial RABIT (the vial-breaking run).
+    bug_d = next(b for b in CAMPAIGN_BUGS if b.bug_id == "ML1")
+    outcome = benchmark.pedantic(
+        lambda: run_bug(bug_d, "initial"), rounds=2, iterations=1
+    )
+    assert not outcome.detected
+    benchmark.extra_info["bug_outcomes"] = {
+        name: {
+            "initial": outcomes[(bid, "initial")].detected,
+            "modified": outcomes[(bid, "modified")].detected,
+        }
+        for name, bid in FIG56.items()
+    }

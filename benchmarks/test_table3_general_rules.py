@@ -1,0 +1,45 @@
+"""Table III — the 11 general rules, each triggered by a controlled
+unsafe scenario (§IV controlled experiments).
+
+The paper: "RABIT successfully detected unsafe behavior in all these
+scenarios."  The bench runs one violating scenario per rule on a fresh
+production deck and regenerates the table with detection outcomes.  The
+timed kernel is one full scenario (deck build + setup + vetoed command).
+"""
+
+from repro.analysis.report import format_table
+from repro.core.rulebase import GENERAL_RULES
+from repro.lab.scenarios import GENERAL_SCENARIOS, run_scenario
+
+
+def test_table3_all_general_rules_detected(emit, benchmark):
+    outcomes = [run_scenario(s) for s in GENERAL_SCENARIOS]
+
+    rows = []
+    for rule, scenario, outcome in zip(GENERAL_RULES, GENERAL_SCENARIOS, outcomes):
+        assert rule.rule_id == scenario.rule_id == outcome.rule_id
+        rows.append(
+            [
+                rule.rule_id[1:],
+                rule.description[:72],
+                "detected" if outcome.attributed_correctly else "MISSED",
+            ]
+        )
+    rendered = format_table(
+        ["No.", "General rules", "Controlled violation"],
+        rows,
+        title="Table III — general rules for self-driving labs (all triggered)",
+    )
+    emit("table3_general_rules", rendered)
+
+    assert all(o.attributed_correctly for o in outcomes), [
+        (o.rule_id, str(o.alert)) for o in outcomes if not o.attributed_correctly
+    ]
+
+    # Timed kernel: the cheapest scenario end to end (G5: start an empty
+    # hotplate) including deck construction, as the paper's testing loop
+    # would run it.
+    g5 = GENERAL_SCENARIOS[4]
+    result = benchmark.pedantic(lambda: run_scenario(g5), rounds=3, iterations=1)
+    assert result.attributed_correctly
+    benchmark.extra_info["rules_detected"] = f"{len(outcomes)}/11"

@@ -1,0 +1,40 @@
+"""Table V — severity of bugs vs. number detected by RABIT.
+
+Paper (modified RABIT): Low 3/1, Medium-Low 1/1, Medium-High 6/4,
+High 6/6 — 12 of 16 overall.  The bench regenerates the table from the
+campaign and asserts every row.  The timed kernel is one representative
+bug run end to end (fresh deck, mutation, monitored execution).
+"""
+
+import pytest
+
+from repro.analysis.metrics import severity_rows
+from repro.analysis.report import format_severity_table
+from repro.devices.world import DamageSeverity
+from repro.faults.campaign import CAMPAIGN_BUGS, run_bug
+
+PAPER_ROWS = {
+    "low": (3, 1),
+    "medium_low": (1, 1),
+    "medium_high": (6, 4),
+    "high": (6, 6),
+}
+
+
+def test_table5_regenerates(emit, campaign_result, benchmark):
+    rows = severity_rows(campaign_result, "modified")
+    rendered = format_severity_table(rows)
+    emit("table5_severity", rendered)
+
+    for severity, total, detected in rows:
+        assert (total, detected) == PAPER_ROWS[severity], severity
+
+    assert campaign_result.detected_count("modified") == 12
+
+    # Timed kernel: Bug A (H1) end to end under the modified revision.
+    bug_a = next(b for b in CAMPAIGN_BUGS if b.bug_id == "H1")
+    outcome = benchmark.pedantic(
+        lambda: run_bug(bug_a, "modified"), rounds=3, iterations=1
+    )
+    assert outcome.detected
+    benchmark.extra_info["table_v"] = {s: f"{d}/{t}" for s, t, d in rows}

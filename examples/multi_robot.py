@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Multi-arm safety: Bug B, and the time/space multiplexing workarounds.
+
+Reproduces §IV category 2: two testbed arms in separate coordinate
+frames collide when a buggy script parks one next to the other — RABIT
+cannot see it (no common frame of reference) — and then shows both of
+the paper's preventive policies stopping the same bug, plus the
+calibration experiment explaining *why* a common frame was abandoned
+(~3 cm of irreducible error).
+
+Run:  python examples/multi_robot.py
+"""
+
+from repro.faults.campaign import CAMPAIGN_BUGS, _prepare_deck
+from repro.faults.mutation import apply_mutations
+from repro.lab.workflows import build_testbed_workflow, run_workflow
+from repro.testbed.calibration import run_calibration_experiment
+from repro.testbed.deck import (
+    attach_space_multiplexing,
+    attach_time_multiplexing,
+    make_testbed_rabit,
+)
+
+BUG_B = next(bug for bug in CAMPAIGN_BUGS if bug.bug_id == "MH4")
+
+
+def run_bug_b(attach=None) -> None:
+    deck = _prepare_deck("fig5")
+    rabit, proxies, _ = make_testbed_rabit(deck)
+    if attach is not None:
+        attach(rabit, deck)
+    lines = apply_mutations(
+        build_testbed_workflow(proxies), deck.world, BUG_B.mutations(proxies)
+    )
+    result = run_workflow(lines)
+    label = attach.__name__ if attach else "plain RABIT"
+    if result.stopped_by_rabit:
+        print(f"  {label}: PREVENTED — {result.alert}")
+    else:
+        collisions = [d for d in deck.world.damage_log if d.kind == "arm_collision"]
+        print(
+            f"  {label}: NOT DETECTED — ground truth recorded "
+            f"{len(collisions)} arm collision(s)"
+        )
+
+
+def main() -> None:
+    print("Why no common frame?  The calibration experiment:")
+    calibration = run_calibration_experiment()
+    print(
+        f"  fitted Ned2->ViperX transform leaves a mean residual of "
+        f"{calibration.mean_error * 100:.1f} cm "
+        f"(max {calibration.max_error * 100:.1f} cm) — the paper measured ~3 cm\n"
+    )
+
+    print("Bug B (Ned2 commanded next to the grid while ViperX is parked there):")
+    run_bug_b()  # plain RABIT: misses it, arms collide
+    run_bug_b(attach_time_multiplexing)
+    run_bug_b(attach_space_multiplexing)
+
+    print(
+        "\nBoth multiplexing policies are ordinary RABIT preconditions/"
+        "obstacles — formalized versions of the lab's safety practice."
+    )
+
+
+if __name__ == "__main__":
+    main()

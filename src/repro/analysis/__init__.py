@@ -1,0 +1,32 @@
+"""Evaluation machinery: metrics, report tables, and the latency harness.
+
+- :mod:`repro.analysis.metrics` -- detection/false-positive accounting.
+- :mod:`repro.analysis.report` -- plain-text tables matching the paper's
+  layout (the benchmark harness prints these).
+- :mod:`repro.analysis.latency` -- the §II-C overhead experiment on the
+  virtual clock.
+"""
+
+from repro.analysis.metrics import DetectionStats, false_positive_check
+from repro.analysis.report import format_table, format_severity_table
+from repro.analysis.latency import LatencyReport, measure_workflow_latency
+from repro.analysis.concurrency import MakespanComparison, compare_makespans
+from repro.analysis.session_report import (
+    SessionSummary,
+    render_session_report,
+    summarize_session,
+)
+
+__all__ = [
+    "DetectionStats",
+    "false_positive_check",
+    "format_table",
+    "format_severity_table",
+    "LatencyReport",
+    "measure_workflow_latency",
+    "MakespanComparison",
+    "compare_makespans",
+    "SessionSummary",
+    "render_session_report",
+    "summarize_session",
+]

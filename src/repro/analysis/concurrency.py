@@ -1,0 +1,74 @@
+"""Multiplexing throughput analysis.
+
+§IV motivates space multiplexing as "allowing to let them move
+concurrently", i.e. it trades coordination machinery for throughput.
+This module quantifies the trade on the virtual clock:
+
+- under **time multiplexing**, the two arms' workloads serialize — the
+  deck's makespan is the *sum* of both arms' busy time plus the sleep
+  handoffs;
+- under **space multiplexing**, the arms run concurrently — the makespan
+  is the *maximum* of the two independent streams.
+
+Busy time comes from the same per-command baseline model the latency
+experiment uses, so the comparison is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.actions import ActionLabel
+from repro.core.interceptor import BASELINE_DURATION, CommandRecord
+
+
+@dataclass(frozen=True)
+class MakespanComparison:
+    """Virtual makespans of one dual-arm workload under each policy."""
+
+    per_arm_busy: Dict[str, float]
+    handoff_seconds: float
+
+    @property
+    def time_multiplexed(self) -> float:
+        """Serialized: sum of busy times plus the sleep/wake handoffs."""
+        return sum(self.per_arm_busy.values()) + self.handoff_seconds
+
+    @property
+    def space_multiplexed(self) -> float:
+        """Concurrent: the slower arm dominates."""
+        return max(self.per_arm_busy.values()) if self.per_arm_busy else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Makespan ratio time/space (>1 means space multiplexing wins)."""
+        if self.space_multiplexed == 0:
+            return 1.0
+        return self.time_multiplexed / self.space_multiplexed
+
+
+def busy_time_per_arm(
+    trace: Sequence[CommandRecord], arm_names: Sequence[str]
+) -> Dict[str, float]:
+    """Total baseline execution time of each arm's commands in *trace*."""
+    busy: Dict[str, float] = {name: 0.0 for name in arm_names}
+    for record in trace:
+        if record.device in busy and record.label is not None:
+            busy[record.device] += BASELINE_DURATION.get(record.label, 1.0)
+    return busy
+
+
+def compare_makespans(
+    trace: Sequence[CommandRecord],
+    arm_names: Sequence[str],
+    handoffs: int = 1,
+) -> MakespanComparison:
+    """Build the comparison from a recorded dual-arm workload.
+
+    *handoffs* counts time-multiplexing sleep/wake transitions (each costs
+    one go-to-sleep plus one wake move at the baseline move duration).
+    """
+    per_arm = busy_time_per_arm(trace, arm_names)
+    handoff_cost = handoffs * 2 * BASELINE_DURATION[ActionLabel.GO_SLEEP]
+    return MakespanComparison(per_arm_busy=per_arm, handoff_seconds=handoff_cost)

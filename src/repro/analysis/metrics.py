@@ -1,0 +1,93 @@
+"""Detection-rate and false-positive metrics for campaign results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.devices.world import DamageSeverity
+from repro.faults.campaign import CampaignResult
+
+
+@dataclass(frozen=True)
+class DetectionStats:
+    """Summary of one configuration's campaign performance."""
+
+    config: str
+    total: int
+    detected: int
+
+    @property
+    def rate(self) -> float:
+        """Detection rate in [0, 1]."""
+        return self.detected / self.total if self.total else 0.0
+
+    @property
+    def percent(self) -> int:
+        """Detection rate as the paper reports it (rounded percent)."""
+        return round(self.rate * 100)
+
+
+def campaign_stats(result: CampaignResult, config: str) -> DetectionStats:
+    """Detection stats for one configuration of a campaign run."""
+    outcomes = [o for o in result.outcomes if o.config == config]
+    return DetectionStats(
+        config=config,
+        total=len(outcomes),
+        detected=sum(1 for o in outcomes if o.detected),
+    )
+
+
+def severity_rows(
+    result: CampaignResult, config: str
+) -> List[Tuple[str, int, int]]:
+    """Table V rows for *config*: (severity, total, detected), in the
+    paper's low-to-high order."""
+    table = result.by_severity(config)
+    rows: List[Tuple[str, int, int]] = []
+    for severity in (
+        DamageSeverity.LOW,
+        DamageSeverity.MEDIUM_LOW,
+        DamageSeverity.MEDIUM_HIGH,
+        DamageSeverity.HIGH,
+    ):
+        total, detected = table.get(severity, (0, 0))
+        rows.append((severity.value, total, detected))
+    return rows
+
+
+#: §IV's four unsafe-behaviour categories, in the paper's order.
+CATEGORY_TITLES = {
+    1: "Interactions with the dosing device door",
+    2: "Collisions between two robot arms",
+    3: "Experiments without a vial",
+    4: "Changing position coordinates",
+}
+
+
+def category_rows(
+    result: CampaignResult, config: str
+) -> List[Tuple[int, str, int, int]]:
+    """§IV category rows for *config*: (number, title, total, detected)."""
+    rows: List[Tuple[int, str, int, int]] = []
+    for number in sorted(CATEGORY_TITLES):
+        outcomes = [
+            o
+            for o in result.outcomes
+            if o.config == config and o.bug.category == number
+        ]
+        rows.append(
+            (
+                number,
+                CATEGORY_TITLES[number],
+                len(outcomes),
+                sum(1 for o in outcomes if o.detected),
+            )
+        )
+    return rows
+
+
+def false_positive_check(alerts: Sequence, workflow_completed: bool) -> bool:
+    """The paper's no-false-alarms property for one safe run:
+    the workflow completed and RABIT raised nothing."""
+    return workflow_completed and len(alerts) == 0

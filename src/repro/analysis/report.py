@@ -1,0 +1,59 @@
+"""Plain-text tables for the benchmark harness.
+
+The benches print tables shaped like the paper's (Tables I-V), so a
+side-by-side comparison with the PDF is a visual diff.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+_SEVERITY_TITLES = {
+    "low": "Low: wasting chemical materials",
+    "medium_low": "Medium-Low: breakage of glassware",
+    "medium_high": "Medium-High: harm to environment / inexpensive objects",
+    "high": "High: breaking expensive equipment",
+}
+
+
+def format_severity_table(rows: Sequence[Tuple[str, int, int]]) -> str:
+    """Render Table V: severity band, total bugs, detected bugs."""
+    display = [
+        (_SEVERITY_TITLES.get(sev, sev), total, detected)
+        for sev, total, detected in rows
+    ]
+    display.append(
+        (
+            "Total",
+            sum(r[1] for r in rows),
+            sum(r[2] for r in rows),
+        )
+    )
+    return format_table(
+        ["Severity of Bugs", "Total", "Detected"],
+        display,
+        title="Table V — severity of bugs vs. RABIT detection",
+    )

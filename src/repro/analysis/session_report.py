@@ -1,0 +1,109 @@
+"""Post-run session audit reports.
+
+A deployed safety monitor needs an audit trail: what ran, what RABIT
+vetoed and why, what (if anything) physically went wrong.  This module
+assembles that report from the three artifacts every monitored run
+already produces — the RATracer-style command trace, the monitor's alert
+log, and the ground-truth damage log — as a plain-text document suitable
+for a lab notebook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import Alert
+from repro.core.interceptor import CommandRecord
+from repro.devices.world import DamageEvent, LabWorld
+
+
+@dataclass(frozen=True)
+class SessionSummary:
+    """The numbers the report leads with."""
+
+    commands: int
+    vetoed: int
+    alerts: int
+    damage_events: int
+    virtual_duration: float
+
+    @property
+    def clean(self) -> bool:
+        """A clean session: nothing vetoed, nothing broken."""
+        return self.alerts == 0 and self.damage_events == 0
+
+
+def summarize_session(
+    trace: Sequence[CommandRecord],
+    alerts: Sequence[Alert],
+    world: LabWorld,
+) -> SessionSummary:
+    """Aggregate a run's artifacts into the headline numbers."""
+    vetoed = sum(1 for record in trace if record.alert is not None)
+    duration = trace[-1].time if trace else 0.0
+    return SessionSummary(
+        commands=len(trace),
+        vetoed=vetoed,
+        alerts=len(alerts),
+        damage_events=len(world.damage_log),
+        virtual_duration=duration,
+    )
+
+
+def render_session_report(
+    trace: Sequence[CommandRecord],
+    alerts: Sequence[Alert],
+    world: LabWorld,
+    title: str = "RABIT session report",
+    command_window: int = 12,
+) -> str:
+    """Render the audit document.
+
+    ``command_window`` bounds how many trailing commands are echoed in
+    full; the alert and damage sections are always complete.
+    """
+    summary = summarize_session(trace, alerts, world)
+    lines: List[str] = [title, "=" * len(title), ""]
+
+    verdict = "CLEAN" if summary.clean else "ATTENTION REQUIRED"
+    lines += [
+        f"verdict:            {verdict}",
+        f"commands executed:  {summary.commands}",
+        f"commands vetoed:    {summary.vetoed}",
+        f"alerts raised:      {summary.alerts}",
+        f"damage events:      {summary.damage_events}",
+        f"virtual duration:   {summary.virtual_duration:.1f} s",
+        "",
+    ]
+
+    if alerts:
+        lines.append("Alerts")
+        lines.append("------")
+        for i, alert in enumerate(alerts, 1):
+            lines.append(f"{i}. {alert}")
+            if alert.command:
+                lines.append(f"   command: {alert.command}")
+        lines.append("")
+
+    if world.damage_log:
+        lines.append("Ground-truth damage")
+        lines.append("-------------------")
+        for i, event in enumerate(world.damage_log, 1):
+            lines.append(f"{i}. {event}")
+        lines.append("")
+
+    lines.append(f"Command trace (last {min(command_window, len(trace))} of {len(trace)})")
+    lines.append("-" * 20)
+    for record in list(trace)[-command_window:]:
+        lines.append(str(record))
+
+    per_device: Dict[str, int] = {}
+    for record in trace:
+        per_device[record.device] = per_device.get(record.device, 0) + 1
+    if per_device:
+        lines += ["", "Commands per device", "-" * 19]
+        for device, count in sorted(per_device.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{device:20s} {count}")
+
+    return "\n".join(lines)

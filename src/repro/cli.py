@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operational entry points a lab would actually use:
+
+- ``validate <config.json>`` — check a RABIT configuration file (the
+  §V-A pilot-study schema validation), exit 1 on errors;
+- ``scenarios`` — run the Table III/IV controlled rule violations;
+- ``campaign`` — run the §IV 16-bug campaign and print Table V and the
+  detection-rate progression;
+- ``latency`` — the §II-C overhead experiment;
+- ``calibration`` — the §IV frame-calibration experiment;
+- ``mine`` — generate a synthetic RAD corpus and mine candidate rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.config import ConfigError, parse_config_text, validate_config
+
+    try:
+        document = parse_config_text(Path(args.config).read_text())
+    except FileNotFoundError:
+        print(f"error: no such file: {args.config}", file=sys.stderr)
+        return 2
+    except ConfigError as exc:
+        for issue in exc.issues:
+            print(issue)
+        return 1
+    issues = validate_config(document)
+    for issue in issues:
+        print(issue)
+    errors = [i for i in issues if i.severity == "error"]
+    print(
+        f"{args.config}: {len(errors)} error(s), "
+        f"{len(issues) - len(errors)} warning(s)"
+    )
+    return 1 if errors else 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.lab.scenarios import ALL_SCENARIOS, run_scenario
+
+    wanted = set(args.rules.split(",")) if args.rules else None
+    rows = []
+    failures = 0
+    for scenario in ALL_SCENARIOS:
+        if wanted is not None and scenario.rule_id not in wanted:
+            continue
+        outcome = run_scenario(scenario)
+        ok = outcome.attributed_correctly
+        failures += 0 if ok else 1
+        rows.append(
+            [scenario.rule_id, scenario.description[:60], "detected" if ok else "MISSED"]
+        )
+    print(format_table(["rule", "controlled violation", "outcome"], rows,
+                       title="Controlled rule-violation scenarios (Tables III & IV)"))
+    return 1 if failures else 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analysis.metrics import campaign_stats, severity_rows
+    from repro.analysis.report import format_severity_table, format_table
+    from repro.faults.campaign import run_campaign
+
+    configs = args.configs.split(",") if args.configs else [
+        "initial", "modified", "modified_es"
+    ]
+    result = run_campaign(configs=configs)
+    rows = []
+    for config in configs:
+        stats = campaign_stats(result, config)
+        rows.append([config, f"{stats.detected}/{stats.total}", f"{stats.percent} %"])
+    print(format_table(["configuration", "detected", "rate"], rows,
+                       title="Detection-rate progression (§IV)"))
+    if "modified" in configs:
+        print()
+        print(format_severity_table(severity_rows(result, "modified")))
+    mismatches = result.mismatches()
+    if mismatches:
+        print(f"\nWARNING: {len(mismatches)} outcome(s) deviate from the paper:")
+        for outcome in mismatches:
+            print(f"  {outcome.bug.bug_id} [{outcome.config}]: detected={outcome.detected}")
+        return 1
+    print("\nAll outcomes match the paper.")
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from repro.analysis.latency import measure_workflow_latency
+    from repro.analysis.report import format_table
+
+    reports = measure_workflow_latency()
+    rows = [
+        [
+            name,
+            report.commands,
+            f"{report.experiment_seconds:.1f} s",
+            f"{report.overhead_per_command:.4f} s",
+            f"{report.overhead_percent:.1f} %",
+        ]
+        for name, report in reports.items()
+    ]
+    print(format_table(
+        ["configuration", "commands", "baseline", "overhead/cmd", "overhead %"],
+        rows, title="§II-C latency overhead (virtual clock)",
+    ))
+    return 0
+
+
+def _cmd_calibration(args: argparse.Namespace) -> int:
+    from repro.testbed.calibration import run_calibration_experiment
+
+    result = run_calibration_experiment()
+    print(
+        f"fitted Ned2->ViperX rigid transform over {len(result.errors)} fiducials: "
+        f"mean residual {result.mean_error * 100:.2f} cm, "
+        f"max {result.max_error * 100:.2f} cm"
+    )
+    print("(the paper measured ~3 cm and kept separate frames + multiplexing)")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    from repro.rad.generator import generate_combined
+    from repro.rad.mining import mine_and_classify, mine_door_rules
+
+    dataset = generate_combined(
+        hein_sessions=args.hein, berlinguette_sessions=args.berlinguette
+    )
+    if args.out:
+        dataset.to_jsonl(Path(args.out))
+        print(f"wrote {len(dataset)} traces ({dataset.total_events()} events) to {args.out}")
+    rules = mine_and_classify(dataset, min_support=args.min_support)
+    for door_rule in mine_door_rules(dataset):
+        print(door_rule.describe())
+    for mined in rules[: args.top]:
+        print(mined.describe(), f"(support {mined.support})")
+    print(f"... {len(rules)} classified rules total")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.simulator.render import render_topdown
+
+    if args.lab == "hein":
+        from repro.lab.hein import build_hein_deck
+
+        deck = build_hein_deck()
+        frames = ["ur3e"]
+    elif args.lab == "berlinguette":
+        from repro.lab.berlinguette import build_berlinguette_deck
+
+        deck = build_berlinguette_deck()
+        frames = ["ur5e"]
+    elif args.lab == "testbed":
+        from repro.testbed.deck import build_testbed_deck
+
+        deck = build_testbed_deck()
+        frames = ["viperx", "ned2"]
+    else:
+        print(f"error: unknown lab {args.lab!r}", file=sys.stderr)
+        return 2
+    for frame in frames:
+        robot = deck.devices.get(frame)
+        print(render_topdown(deck.model, frame, robot=robot))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RABIT reproduction: validation, scenarios, campaign, experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="validate a RABIT JSON configuration")
+    p.add_argument("config", help="path to the configuration file")
+    p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("scenarios", help="run the controlled rule violations")
+    p.add_argument("--rules", default="", help="comma-separated rule ids (default: all)")
+    p.set_defaults(fn=_cmd_scenarios)
+
+    p = sub.add_parser("campaign", help="run the 16-bug campaign")
+    p.add_argument(
+        "--configs", default="", help="comma-separated configurations (default: all three)"
+    )
+    p.set_defaults(fn=_cmd_campaign)
+
+    p = sub.add_parser("latency", help="run the latency-overhead experiment")
+    p.set_defaults(fn=_cmd_latency)
+
+    p = sub.add_parser("calibration", help="run the frame-calibration experiment")
+    p.set_defaults(fn=_cmd_calibration)
+
+    p = sub.add_parser("render", help="print a top-down view of a deck")
+    p.add_argument(
+        "--lab", default="hein", choices=["hein", "berlinguette", "testbed"],
+        help="which deck to render",
+    )
+    p.set_defaults(fn=_cmd_render)
+
+    p = sub.add_parser("mine", help="generate traces and mine candidate rules")
+    p.add_argument("--hein", type=int, default=5, help="Hein sessions to replay")
+    p.add_argument("--berlinguette", type=int, default=4, help="Berlinguette sessions")
+    p.add_argument("--min-support", type=int, default=4, dest="min_support")
+    p.add_argument("--top", type=int, default=15, help="rules to print")
+    p.add_argument("--out", default="", help="write traces to this JSONL path")
+    p.set_defaults(fn=_cmd_mine)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI shim
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""RABIT — the paper's primary contribution.
+
+A rule-based safety monitor for self-driving labs.  The pieces map onto
+the paper's sections:
+
+- :mod:`repro.core.state` -- the discrete lab state (Table II's state
+  variables: door status, robot containment, holding, contents, ...).
+- :mod:`repro.core.actions` -- action labels and the state-transition
+  table (Table II) of postconditions.
+- :mod:`repro.core.rulebase` -- the 11 general rules (Table III) and the
+  4 Hein Lab custom rules (Table IV) as checkable preconditions.
+- :mod:`repro.core.model` -- RABIT's own model of the lab, populated from
+  JSON configuration files (§II-C).
+- :mod:`repro.core.config` -- JSON loading and schema validation (the
+  pilot study's error classes).
+- :mod:`repro.core.monitor` -- the Fig. 2 execution algorithm.
+- :mod:`repro.core.interceptor` -- the RATracer-substitute command
+  interception layer.
+- :mod:`repro.core.multiplexing` -- time/space multiplexing of multiple
+  robot arms (§IV, category 2).
+"""
+
+from repro.core.errors import Alert, AlertKind, SafetyViolation
+from repro.core.clock import VirtualClock
+from repro.core.state import LabState, OBSERVABLE_VARS, TRACKED_VARS
+from repro.core.actions import ActionCall, ActionLabel, TransitionTable
+from repro.core.model import (
+    DeviceModel,
+    ObstacleModel,
+    RabitLabModel,
+)
+from repro.core.rulebase import Rule, RuleBase, RuleScope, build_default_rulebase
+from repro.core.monitor import Rabit, RabitOptions
+from repro.core.interceptor import DeviceProxy, CommandRecord, instrument
+from repro.core.multiplexing import TimeMultiplexer, SpaceMultiplexer
+
+__all__ = [
+    "Alert",
+    "AlertKind",
+    "SafetyViolation",
+    "VirtualClock",
+    "LabState",
+    "OBSERVABLE_VARS",
+    "TRACKED_VARS",
+    "ActionCall",
+    "ActionLabel",
+    "TransitionTable",
+    "DeviceModel",
+    "ObstacleModel",
+    "RabitLabModel",
+    "Rule",
+    "RuleBase",
+    "RuleScope",
+    "build_default_rulebase",
+    "Rabit",
+    "RabitOptions",
+    "DeviceProxy",
+    "CommandRecord",
+    "instrument",
+    "TimeMultiplexer",
+    "SpaceMultiplexer",
+]

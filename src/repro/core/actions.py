@@ -1,0 +1,397 @@
+"""Action labels, intercepted calls, and the state-transition table.
+
+§II-C: "We use the information from the JSON files to populate a state
+transition table, which is a two-dimensional labeled data structure
+similar to Table II."  :class:`TransitionTable` is that structure: for
+each action label it stores the human-readable pre/postcondition strings
+(regenerated verbatim by the Table II benchmark) and an executable
+postcondition applier that turns the current state into the expected
+state (Fig. 2 line 11, ``UpdateState``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.state import LabState
+
+
+class ActionLabel(Enum):
+    """Every action RABIT understands, across the four device types."""
+
+    # Robot arm
+    MOVE_ROBOT = "move_robot"
+    MOVE_ROBOT_INSIDE = "move_robot_inside"
+    PICK_OBJECT = "pick_object"
+    PLACE_OBJECT = "place_object"
+    #: Raw jaw commands, used by testbed script helpers.  Unlike the
+    #: modeled pick/place wrapper commands, these carry no verifiable
+    #: holding semantics (no gripper pressure sensor — §IV category 3), so
+    #: they get best-effort postconditions and no holding preconditions.
+    OPEN_GRIPPER = "open_gripper"
+    CLOSE_GRIPPER = "close_gripper"
+    GO_HOME = "go_home"
+    GO_SLEEP = "go_sleep"
+    # Doors
+    OPEN_DOOR = "open_door"
+    CLOSE_DOOR = "close_door"
+    # Dosing systems
+    START_DOSING = "start_dosing"
+    DOSE_LIQUID = "dose_liquid"
+    STOP_DOSING = "stop_dosing"
+    # Action devices
+    START_ACTION = "start_action"
+    STOP_ACTION = "stop_action"
+    SET_ACTION_VALUE = "set_action_value"
+    ROTATE_ROTOR = "rotate_rotor"
+    # Containers
+    CAP = "cap"
+    DECAP = "decap"
+
+
+@dataclass(frozen=True)
+class ActionCall:
+    """One intercepted command, resolved to an action label plus context.
+
+    ``device`` is the commanded device; ``robot`` is set for robot-arm
+    actions; ``location`` is the resolved location *name* for moves and
+    pick/place (None when the script passed raw coordinates or the
+    position is implicit); ``target`` is the raw coordinate triple in the
+    robot's own frame when known; ``value``/``quantity`` carry numeric
+    arguments (setpoints, dose amounts).
+    """
+
+    label: ActionLabel
+    device: str
+    robot: Optional[str] = None
+    location: Optional[str] = None
+    target: Optional[Tuple[float, float, float]] = None
+    value: Optional[float] = None
+    quantity: Optional[float] = None
+    direction: Optional[str] = None
+    raw_command: str = ""
+
+    def describe(self) -> str:
+        """Short human-readable form for alerts and traces."""
+        parts = [self.label.value, f"device={self.device}"]
+        if self.location:
+            parts.append(f"location={self.location}")
+        if self.target is not None:
+            x, y, z = self.target
+            parts.append(f"target=({x:.3f}, {y:.3f}, {z:.3f})")
+        if self.value is not None:
+            parts.append(f"value={self.value:g}")
+        if self.quantity is not None:
+            parts.append(f"quantity={self.quantity:g}")
+        return " ".join(parts)
+
+
+PostconditionFn = Callable[[LabState, ActionCall, "TransitionContext"], None]
+
+
+@dataclass
+class TransitionContext:
+    """Extra lab knowledge postconditions need (location kinds, ownership).
+
+    Provided by :class:`repro.core.model.RabitLabModel`; kept abstract here
+    so the transition table has no import cycle with the model.
+    """
+
+    #: location name -> owning device, for interior locations.
+    interior_owner: Callable[[str], Optional[str]]
+    #: device name -> load location name (where its vial sits), if any.
+    load_location: Callable[[str], Optional[str]]
+    #: location name -> named door guarding it (multi-door devices), if any.
+    via_door: Callable[[str], Optional[str]] = lambda loc: None
+
+
+@dataclass(frozen=True)
+class TransitionRow:
+    """One row of Table II: an action with its condition strings."""
+
+    label: ActionLabel
+    example: str
+    preconditions: str
+    postconditions: str
+    apply: PostconditionFn
+
+
+def _post_move(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    assert call.robot is not None
+    state.set("robot_inside", call.robot, None)
+    state.set("robot_entry_door", call.robot, None)
+
+
+def _set_containment(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    assert call.robot is not None
+    owner = ctx.interior_owner(call.location) if call.location else None
+    state.set("robot_inside", call.robot, owner)
+    state.set(
+        "robot_entry_door",
+        call.robot,
+        ctx.via_door(call.location) if (owner and call.location) else None,
+    )
+
+
+def _post_move_inside(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    _set_containment(state, call, ctx)
+
+
+def _post_pick(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    assert call.robot is not None
+    vial = state.vial_at(call.location) if call.location else None
+    if vial is not None:
+        state.set("robot_holding", call.robot, vial)
+        state.set("container_at", vial, None)
+    # Picking at a device-interior location leaves the gripper inside the
+    # device (same containment semantics as move_robot_inside).
+    if call.location is not None:
+        _set_containment(state, call, ctx)
+
+
+def _post_place(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    assert call.robot is not None
+    vial = state.get("robot_holding", call.robot)
+    if vial is not None and call.location is not None:
+        state.set("container_at", vial, call.location)
+    state.set("robot_holding", call.robot, None)
+    state.set("gripper", call.robot, "open")
+    if call.location is not None:
+        _set_containment(state, call, ctx)
+
+
+def _post_pick_gripper(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    _post_pick(state, call, ctx)
+    assert call.robot is not None
+    state.set("gripper", call.robot, "closed")
+
+
+def _post_open_door(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    state.set("door_status", call.device, "open")
+
+
+def _post_close_door(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    state.set("door_status", call.device, "closed")
+
+
+def _post_start_dosing(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    state.set("device_active", call.device, True)
+    load = ctx.load_location(call.device)
+    vial = state.vial_at(load) if load else None
+    if vial is not None and call.quantity is not None:
+        solid = float(state.get("container_solid", vial, 0.0))
+        state.set("container_solid", vial, solid + call.quantity)
+    if call.quantity is not None:
+        prior = float(state.get("dispensed_mg", call.device, 0.0))
+        state.set("dispensed_mg", call.device, prior + call.quantity)
+
+
+def _post_dose_liquid(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    load = ctx.load_location(call.device)
+    vial = state.vial_at(load) if load else None
+    if vial is not None and call.quantity is not None:
+        liquid = float(state.get("container_liquid", vial, 0.0))
+        state.set("container_liquid", vial, liquid + call.quantity)
+    if call.quantity is not None:
+        prior = float(state.get("dispensed_ml", call.device, 0.0))
+        state.set("dispensed_ml", call.device, prior + call.quantity)
+
+
+def _post_stop_dosing(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    state.set("device_active", call.device, False)
+
+
+def _post_start_action(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    state.set("device_active", call.device, True)
+    if call.value is not None:
+        state.set("action_value", call.device, float(call.value))
+
+
+def _post_stop_action(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    state.set("device_active", call.device, False)
+
+
+def _post_set_value(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    if call.value is not None:
+        state.set("action_value", call.device, float(call.value))
+
+
+def _post_rotate(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    if call.direction is not None:
+        state.set("red_dot", call.device, call.direction)
+
+
+def _post_cap(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    state.set("container_stopper", call.device, "on")
+
+
+def _post_decap(state: LabState, call: ActionCall, ctx: TransitionContext) -> None:
+    state.set("container_stopper", call.device, "off")
+
+
+class TransitionTable:
+    """Table II as an executable structure."""
+
+    def __init__(self) -> None:
+        self._rows: Dict[ActionLabel, TransitionRow] = {}
+        for row in _default_rows():
+            self._rows[row.label] = row
+
+    def row(self, label: ActionLabel) -> TransitionRow:
+        """The table row for *label*."""
+        try:
+            return self._rows[label]
+        except KeyError:
+            raise KeyError(f"no transition row for action {label!r}") from None
+
+    def rows(self) -> List[TransitionRow]:
+        """All rows, in declaration order."""
+        return list(self._rows.values())
+
+    def expected_state(
+        self, current: LabState, call: ActionCall, ctx: TransitionContext
+    ) -> LabState:
+        """Fig. 2 line 11: ``S_expected <- UpdateState(S_current, a_next)``."""
+        expected = current.copy()
+        self.row(call.label).apply(expected, call, ctx)
+        return expected
+
+
+def _default_rows() -> List[TransitionRow]:
+    return [
+        TransitionRow(
+            ActionLabel.MOVE_ROBOT,
+            "Moving a robot arm to a deck location",
+            "target location not occupied by any object",
+            "robotArmInside[robot] = none",
+            _post_move,
+        ),
+        TransitionRow(
+            ActionLabel.MOVE_ROBOT_INSIDE,
+            "Moving a robot arm inside a specific device",
+            "deviceDoorStatus[device] = 1",
+            "robotArmInside[robot][device] = 1",
+            _post_move_inside,
+        ),
+        TransitionRow(
+            ActionLabel.PICK_OBJECT,
+            "Using a robot arm to pick up an object (a vial in this case)",
+            "robotArmHolding[robot] = 0",
+            "robotArmHolding[robot] = 1",
+            _post_pick_gripper,
+        ),
+        TransitionRow(
+            ActionLabel.PLACE_OBJECT,
+            "Using a robot arm to place an object (a vial in this case)",
+            "robotArmHolding[robot] = 1",
+            "robotArmHolding[robot] = 0",
+            _post_place,
+        ),
+        TransitionRow(
+            ActionLabel.OPEN_GRIPPER,
+            "Opening the gripper jaws (raw command)",
+            "(always allowed — holding is not verifiable)",
+            "robotArmHolding[robot] = 0; believed vial rests at nearest location",
+            _post_place,
+        ),
+        TransitionRow(
+            ActionLabel.CLOSE_GRIPPER,
+            "Closing the gripper jaws (raw command)",
+            "robotArmHolding[robot] = 0",
+            "robotArmHolding[robot] = believed vial at matched location",
+            _post_pick_gripper,
+        ),
+        TransitionRow(
+            ActionLabel.GO_HOME,
+            "Moving a robot arm to its home posture",
+            "(always allowed)",
+            "robotArmInside[robot] = none",
+            _post_move,
+        ),
+        TransitionRow(
+            ActionLabel.GO_SLEEP,
+            "Moving a robot arm to its sleep posture",
+            "(always allowed)",
+            "robotArmInside[robot] = none",
+            _post_move,
+        ),
+        TransitionRow(
+            ActionLabel.OPEN_DOOR,
+            "Opening a device's software-controlled door",
+            "device not running",
+            "deviceDoorStatus[device] = open",
+            _post_open_door,
+        ),
+        TransitionRow(
+            ActionLabel.CLOSE_DOOR,
+            "Closing a device's software-controlled door",
+            "no robot arm inside the device",
+            "deviceDoorStatus[device] = closed",
+            _post_close_door,
+        ),
+        TransitionRow(
+            ActionLabel.START_DOSING,
+            "Dosing solid into the loaded container",
+            "door closed; container loaded, unstoppered, with capacity",
+            "container solid += quantity; dispensed += quantity",
+            _post_start_dosing,
+        ),
+        TransitionRow(
+            ActionLabel.DOSE_LIQUID,
+            "Dosing liquid into the container at the dispense location",
+            "container loaded, unstoppered, already contains solid",
+            "container liquid += volume; dispensed += volume",
+            _post_dose_liquid,
+        ),
+        TransitionRow(
+            ActionLabel.STOP_DOSING,
+            "Stopping an in-progress dose",
+            "(always allowed)",
+            "deviceActive[device] = 0",
+            _post_stop_dosing,
+        ),
+        TransitionRow(
+            ActionLabel.START_ACTION,
+            "Starting an action device (heat, stir, shake, spin, ...)",
+            "container loaded and non-empty; door closed; value <= threshold",
+            "deviceActive[device] = 1; actionValue[device] = value",
+            _post_start_action,
+        ),
+        TransitionRow(
+            ActionLabel.STOP_ACTION,
+            "Stopping an action device",
+            "(always allowed)",
+            "deviceActive[device] = 0",
+            _post_stop_action,
+        ),
+        TransitionRow(
+            ActionLabel.SET_ACTION_VALUE,
+            "Setting an action device's setpoint",
+            "value <= threshold",
+            "actionValue[device] = value",
+            _post_set_value,
+        ),
+        TransitionRow(
+            ActionLabel.ROTATE_ROTOR,
+            "Indexing the centrifuge rotor",
+            "device not running",
+            "redDot[device] = direction",
+            _post_rotate,
+        ),
+        TransitionRow(
+            ActionLabel.CAP,
+            "Putting the stopper on a container",
+            "(always allowed)",
+            "containerStopper[container] = on",
+            _post_cap,
+        ),
+        TransitionRow(
+            ActionLabel.DECAP,
+            "Taking the stopper off a container",
+            "(always allowed)",
+            "containerStopper[container] = off",
+            _post_decap,
+        ),
+    ]

@@ -1,0 +1,382 @@
+"""JSON configuration: schema validation and model construction.
+
+§II-C: "The lab researcher configures RABIT for their lab by instantiating
+their devices in the JSON files that we provide.  They must categorize
+each device into its device type and enter its properties, including the
+class name that provides the device's APIs and additional properties
+(such as the presence and position of a door)."
+
+The pilot study (§V-A) found two recurring error classes while
+participant P authored these files: **JSON syntax errors** and **sign /
+value errors** ("P accidentally entered a negative sign instead of a
+positive sign in a location").  The paper concludes that "more precise
+JSON schema specifications could have helped avoid sign errors" —
+:func:`validate_config` is that more-precise validator, and the pilot
+benchmark measures which error classes it catches.
+
+Expected document shape::
+
+    {
+      "lab": "hein",
+      "devices": [
+        {"name": "dosing_device", "type": "dosing_system",
+         "class": "SolidDosingDevice",
+         "door": {"present": true, "initial": "closed"},
+         "load_location": "dosing_interior",
+         "capacity_solid_mg": 10.0},
+        {"name": "ur3e", "type": "robot_arm", "class": "RobotArmDevice",
+         "frame": "ur3e", "link_radius": 0.045},
+        ...
+      ],
+      "locations": [
+        {"name": "grid_nw_pickup", "kind": "grid_slot", "device": "grid",
+         "coords": {"ur3e": [0.537, 0.018, 0.12]}},
+        ...
+      ],
+      "obstacles": [
+        {"name": "grid", "surface": false,
+         "frames": {"ur3e": {"min": [0.4, -0.1, 0.0], "max": [0.7, 0.1, 0.05]}}},
+        ...
+      ],
+      "custom_rules": ["C1", "C2", "C3", "C4"]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.model import (
+    DeviceModel,
+    LocationModel,
+    ObstacleModel,
+    RabitLabModel,
+)
+from repro.devices.base import DeviceKind
+from repro.geometry.richshapes import shape_from_spec
+from repro.geometry.shapes import Cuboid
+
+VALID_DEVICE_TYPES = {k.value for k in DeviceKind}
+VALID_LOCATION_KINDS = {"free", "device_interior", "device_approach", "grid_slot"}
+
+#: Device classes the reproduction ships; the config's "class" field must
+#: name one of these (the paper's "class name that provides the device's
+#: APIs").
+KNOWN_CLASSES = {
+    "RobotArmDevice",
+    "SolidDosingDevice",
+    "SyringePump",
+    "Hotplate",
+    "Centrifuge",
+    "Thermoshaker",
+    "Decapper",
+    "SpinCoater",
+    "UltrasonicNozzle",
+    "XRFStation",
+    "Vial",
+    "ProximitySensor",
+    "MultiDoorDosingDevice",
+}
+
+
+@dataclass(frozen=True)
+class ConfigIssue:
+    """One problem found while validating a configuration document."""
+
+    severity: str  # "error" | "warning"
+    path: str  # JSON-pointer-ish location, e.g. "devices[2].door"
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.path}: {self.message}"
+
+
+class ConfigError(Exception):
+    """Raised when a configuration cannot be loaded into a model."""
+
+    def __init__(self, issues: Sequence[ConfigIssue]) -> None:
+        summary = "; ".join(str(i) for i in issues if i.severity == "error")
+        super().__init__(f"invalid RABIT configuration: {summary}")
+        self.issues = list(issues)
+
+
+def parse_config_text(text: str) -> Dict[str, Any]:
+    """Parse raw JSON text, converting syntax errors into ConfigError.
+
+    This is the error class a "JSON-aware editor" would have prevented in
+    the pilot study."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(
+            [ConfigIssue("error", f"line {exc.lineno}", f"JSON syntax error: {exc.msg}")]
+        ) from exc
+    if not isinstance(document, dict):
+        raise ConfigError([ConfigIssue("error", "$", "top level must be an object")])
+    return document
+
+
+def _check_triple(value: Any, path: str, issues: List[ConfigIssue]) -> bool:
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 3
+        or not all(isinstance(x, (int, float)) for x in value)
+    ):
+        issues.append(ConfigIssue("error", path, f"expected [x, y, z] numbers, got {value!r}"))
+        return False
+    return True
+
+
+def validate_config(document: Dict[str, Any]) -> List[ConfigIssue]:
+    """Validate a parsed configuration document.
+
+    Returns all issues found.  ``severity == "error"`` issues block model
+    construction; warnings (like the below-deck sign check) are surfaced
+    to the researcher but do not block.
+    """
+    issues: List[ConfigIssue] = []
+
+    devices = document.get("devices")
+    if not isinstance(devices, list) or not devices:
+        issues.append(ConfigIssue("error", "devices", "must be a non-empty list"))
+        devices = []
+
+    device_names = set()
+    frames = set()
+    for i, dev in enumerate(devices):
+        path = f"devices[{i}]"
+        if not isinstance(dev, dict):
+            issues.append(ConfigIssue("error", path, "must be an object"))
+            continue
+        name = dev.get("name")
+        if not isinstance(name, str) or not name:
+            issues.append(ConfigIssue("error", f"{path}.name", "missing device name"))
+        elif name in device_names:
+            issues.append(ConfigIssue("error", f"{path}.name", f"duplicate device {name!r}"))
+        else:
+            device_names.add(name)
+
+        dtype = dev.get("type")
+        if dtype not in VALID_DEVICE_TYPES:
+            issues.append(
+                ConfigIssue(
+                    "error",
+                    f"{path}.type",
+                    f"unknown device type {dtype!r}; must be one of {sorted(VALID_DEVICE_TYPES)}",
+                )
+            )
+        cls = dev.get("class")
+        if cls is not None and cls not in KNOWN_CLASSES:
+            issues.append(
+                ConfigIssue(
+                    "error",
+                    f"{path}.class",
+                    f"unknown device class {cls!r}; no API wrapper with this name",
+                )
+            )
+        if dtype == "robot_arm":
+            frame = dev.get("frame")
+            if not isinstance(frame, str) or not frame:
+                issues.append(
+                    ConfigIssue("error", f"{path}.frame", "robot arms need a coordinate frame name")
+                )
+            else:
+                frames.add(frame)
+        threshold = dev.get("threshold")
+        if threshold is not None and (
+            not isinstance(threshold, (int, float)) or threshold <= 0
+        ):
+            issues.append(
+                ConfigIssue("error", f"{path}.threshold", f"threshold must be positive, got {threshold!r}")
+            )
+        door = dev.get("door")
+        if door is not None:
+            if not isinstance(door, dict) or "present" not in door:
+                issues.append(
+                    ConfigIssue("error", f"{path}.door", "door must be an object with a 'present' flag")
+                )
+            elif door.get("initial") not in (None, "open", "closed"):
+                issues.append(
+                    ConfigIssue(
+                        "error", f"{path}.door.initial", f"must be 'open' or 'closed', got {door.get('initial')!r}"
+                    )
+                )
+
+    location_names = set()
+    for i, loc in enumerate(document.get("locations", [])):
+        path = f"locations[{i}]"
+        if not isinstance(loc, dict):
+            issues.append(ConfigIssue("error", path, "must be an object"))
+            continue
+        name = loc.get("name")
+        if not isinstance(name, str) or not name:
+            issues.append(ConfigIssue("error", f"{path}.name", "missing location name"))
+        elif name in location_names:
+            issues.append(ConfigIssue("error", f"{path}.name", f"duplicate location {name!r}"))
+        else:
+            location_names.add(name)
+        kind = loc.get("kind")
+        if kind not in VALID_LOCATION_KINDS:
+            issues.append(
+                ConfigIssue(
+                    "error",
+                    f"{path}.kind",
+                    f"unknown location kind {kind!r}; must be one of {sorted(VALID_LOCATION_KINDS)}",
+                )
+            )
+        device = loc.get("device")
+        if device is not None and device_names and device not in device_names:
+            # Obstacles (grid, platform) are legitimate owners too; only
+            # warn so researchers notice typos without being blocked.
+            issues.append(
+                ConfigIssue("warning", f"{path}.device", f"owner {device!r} is not a configured device")
+            )
+        coords = loc.get("coords", {})
+        if not isinstance(coords, dict) or not coords:
+            issues.append(ConfigIssue("error", f"{path}.coords", "need at least one frame's coordinates"))
+            coords = {}
+        for frame, triple in coords.items():
+            cpath = f"{path}.coords.{frame}"
+            if not _check_triple(triple, cpath, issues):
+                continue
+            # The pilot study's sign-error class: a reachable deck location
+            # can never be below the deck plane.
+            if triple[2] < 0:
+                issues.append(
+                    ConfigIssue(
+                        "warning",
+                        cpath,
+                        f"z = {triple[2]} is below the deck plane — "
+                        f"possible sign error (pilot-study error class)",
+                    )
+                )
+
+    for i, obs in enumerate(document.get("obstacles", [])):
+        path = f"obstacles[{i}]"
+        if not isinstance(obs, dict):
+            issues.append(ConfigIssue("error", path, "must be an object"))
+            continue
+        if not isinstance(obs.get("name"), str):
+            issues.append(ConfigIssue("error", f"{path}.name", "missing obstacle name"))
+        frames_spec = obs.get("frames")
+        if not isinstance(frames_spec, dict) or not frames_spec:
+            issues.append(ConfigIssue("error", f"{path}.frames", "need at least one frame's cuboid"))
+            continue
+        for frame, box in frames_spec.items():
+            bpath = f"{path}.frames.{frame}"
+            if not isinstance(box, dict):
+                issues.append(ConfigIssue("error", bpath, "shape spec must be an object"))
+                continue
+            if box.get("type", "cuboid") != "cuboid" or ("min" not in box and "max" not in box):
+                # Refined shape (§V-C extension): validate by construction.
+                try:
+                    shape_from_spec(box, name=str(obs.get("name", "?")))
+                except (KeyError, TypeError, ValueError) as exc:
+                    issues.append(
+                        ConfigIssue("error", bpath, f"invalid shape spec: {exc}")
+                    )
+                continue
+            if "min" not in box or "max" not in box:
+                issues.append(ConfigIssue("error", bpath, "cuboid needs 'min' and 'max' corners"))
+                continue
+            ok_min = _check_triple(box["min"], f"{bpath}.min", issues)
+            ok_max = _check_triple(box["max"], f"{bpath}.max", issues)
+            if ok_min and ok_max and any(
+                lo > hi for lo, hi in zip(box["min"], box["max"])
+            ):
+                issues.append(
+                    ConfigIssue(
+                        "error",
+                        bpath,
+                        "min corner exceeds max corner — possible sign error "
+                        "(pilot-study error class)",
+                    )
+                )
+
+    for i, rule in enumerate(document.get("custom_rules", [])):
+        if not isinstance(rule, str):
+            issues.append(ConfigIssue("error", f"custom_rules[{i}]", f"rule id must be a string, got {rule!r}"))
+
+    return issues
+
+
+def build_model(document: Dict[str, Any]) -> RabitLabModel:
+    """Construct a :class:`RabitLabModel` from a validated document.
+
+    Raises :class:`ConfigError` if validation finds any errors.
+    """
+    issues = validate_config(document)
+    if any(i.severity == "error" for i in issues):
+        raise ConfigError(issues)
+
+    model = RabitLabModel(lab_name=document.get("lab", "lab"))
+    for dev in document["devices"]:
+        door = dev.get("door") or {}
+        model.add_device(
+            DeviceModel(
+                name=dev["name"],
+                kind=DeviceKind(dev["type"]),
+                class_name=dev.get("class", ""),
+                has_door=bool(door.get("present", False)),
+                door_names=tuple(door.get("names", ())),
+                threshold=dev.get("threshold"),
+                requires_container=bool(dev.get("requires_container", True)),
+                load_location=dev.get("load_location"),
+                dispense_location=dev.get("dispense_location"),
+                capacity_solid_mg=dev.get("capacity_solid_mg"),
+                capacity_liquid_ml=dev.get("capacity_liquid_ml"),
+                frame=dev.get("frame"),
+                gripper_clearance=float(dev.get("gripper_clearance", 0.025)),
+                held_drop=float(dev.get("held_drop", 0.06)),
+                link_radius=float(dev.get("link_radius", 0.04)),
+            )
+        )
+    for loc in document.get("locations", []):
+        model.add_location(
+            LocationModel(
+                name=loc["name"],
+                kind=loc["kind"],
+                device=loc.get("device"),
+                via_door=loc.get("via_door"),
+                coords={
+                    frame: tuple(float(x) for x in triple)
+                    for frame, triple in loc.get("coords", {}).items()
+                },
+            )
+        )
+    for obs in document.get("obstacles", []):
+        model.add_obstacle(
+            ObstacleModel(
+                name=obs["name"],
+                surface=bool(obs.get("surface", False)),
+                frames={
+                    frame: shape_from_spec(box, name=obs["name"])
+                    for frame, box in obs["frames"].items()
+                },
+            )
+        )
+    model.custom_rule_ids = list(document.get("custom_rules", []))
+    model.reliable_container_tracking = bool(
+        document.get("reliable_container_tracking", False)
+    )
+    for frame, box in document.get("workspace", {}).items():
+        model.workspace_bounds[frame] = Cuboid(
+            tuple(box["min"]), tuple(box["max"]), name=f"workspace[{frame}]"
+        )
+    return model
+
+
+def load_model(source: Union[str, Path, Dict[str, Any]]) -> RabitLabModel:
+    """Load a model from a JSON file path, raw JSON text, or a parsed dict."""
+    if isinstance(source, dict):
+        return build_model(source)
+    text = str(source)
+    if not text.lstrip().startswith(("{", "[")):
+        # Looks like a path, not JSON text.
+        path = Path(source)
+        if path.exists():
+            return build_model(parse_config_text(path.read_text()))
+    return build_model(parse_config_text(text))

@@ -1,0 +1,55 @@
+"""Alerts and the exception RABIT raises through the tracing layer.
+
+Fig. 2 has three ``alertAndStop`` sites; each gets an :class:`AlertKind`:
+
+- ``INVALID_COMMAND`` — a precondition failed (line 7, "Invalid Command!");
+- ``INVALID_TRAJECTORY`` — the Extended Simulator predicts a collision
+  (line 10, "Invalid trajectory!");
+- ``DEVICE_MALFUNCTION`` — post-execution state differs from the expected
+  state (line 15, "Device malfunction!").
+
+The reconfigured tracer "raises a Python exception" when RABIT alerts
+(§II-C); that exception is :class:`SafetyViolation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+
+class AlertKind(Enum):
+    """Which ``alertAndStop`` site fired."""
+
+    INVALID_COMMAND = "invalid_command"
+    INVALID_TRAJECTORY = "invalid_trajectory"
+    DEVICE_MALFUNCTION = "device_malfunction"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One safety alert raised by RABIT.
+
+    ``rule_id`` names the violated rule for precondition alerts (e.g.
+    ``"G1"`` for Table III rule 1); trajectory/malfunction alerts carry
+    ``None``.  ``command`` is the textual form of the intercepted command.
+    """
+
+    kind: AlertKind
+    message: str
+    command: str = ""
+    rule_id: Optional[str] = None
+    involved: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        rule = f" [{self.rule_id}]" if self.rule_id else ""
+        return f"{self.kind.value}{rule}: {self.message}"
+
+
+class SafetyViolation(Exception):
+    """Raised into the experiment script when RABIT stops the experiment."""
+
+    def __init__(self, alert: Alert) -> None:
+        super().__init__(str(alert))
+        self.alert = alert

@@ -1,0 +1,102 @@
+"""Fail-safe response policies (§II-B).
+
+"RABIT stops an experiment preemptively based on the Hein Lab's
+recommendation.  However, this can be dangerous at times, e.g., if a
+robot arm is left holding a volatile substance, a person can bump into
+it.  In such cases, a fail-safe scenario may be recommended instead."
+
+:class:`FailSafePolicy` implements that recommendation as an alert
+handler: when RABIT stops an experiment, the policy drives the deck into
+a configured safe posture — set any held vial down at its designated
+safe location, retract every arm to its sleep pose, close doors, and
+stop running devices — executing each recovery command *through the
+monitor* (guarded like any other command), falling back to skipping a
+recovery step if it is itself vetoed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import Alert, SafetyViolation
+from repro.core.interceptor import DeviceProxy
+from repro.devices.robot import RobotArmDevice
+
+
+@dataclass
+class RecoveryReport:
+    """What the fail-safe policy managed to do after an alert."""
+
+    triggering_alert: Alert
+    steps: List[Tuple[str, str]] = field(default_factory=list)  # (action, outcome)
+
+    @property
+    def fully_recovered(self) -> bool:
+        """Whether every recovery step succeeded."""
+        return all(outcome == "ok" for _, outcome in self.steps)
+
+
+class FailSafePolicy:
+    """Drive the deck to a safe state after a RABIT stop.
+
+    ``safe_drop_locations`` maps each robot to the location where a held
+    vial should be set down before retracting (typically its grid slot's
+    safe-approach pair); robots without an entry retract directly —
+    carrying the vial with them, which the report flags.
+    """
+
+    def __init__(
+        self,
+        proxies: Dict[str, DeviceProxy],
+        safe_drop_locations: Optional[Dict[str, Tuple[str, str]]] = None,
+    ) -> None:
+        self._proxies = dict(proxies)
+        self._safe_drops = dict(safe_drop_locations or {})
+
+    def recover(self, alert: Alert) -> RecoveryReport:
+        """Execute the fail-safe scenario; never raises."""
+        report = RecoveryReport(triggering_alert=alert)
+        for name, proxy in self._proxies.items():
+            device = proxy.wrapped
+            if isinstance(device, RobotArmDevice):
+                self._recover_arm(name, proxy, device, report)
+            else:
+                self._quiesce_device(name, proxy, device, report)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _attempt(self, report: RecoveryReport, action: str, fn) -> bool:
+        try:
+            fn()
+        except SafetyViolation as stop:
+            report.steps.append((action, f"vetoed: {stop.alert}"))
+            return False
+        except Exception as exc:  # noqa: BLE001 - recovery must not raise
+            report.steps.append((action, f"failed: {exc}"))
+            return False
+        report.steps.append((action, "ok"))
+        return True
+
+    def _recover_arm(
+        self, name: str, proxy: DeviceProxy, device: RobotArmDevice, report: RecoveryReport
+    ) -> None:
+        if device.holding is not None:
+            drop = self._safe_drops.get(name)
+            if drop is not None:
+                safe, slot = drop
+                self._attempt(report, f"{name}: stage at {safe}", lambda: proxy.move_to_location(safe))
+                self._attempt(report, f"{name}: set vial down at {slot}", lambda: proxy.place_vial(slot))
+                self._attempt(report, f"{name}: clear {safe}", lambda: proxy.move_to_location(safe))
+            else:
+                report.steps.append(
+                    (f"{name}: holding {device.holding!r}", "no safe drop configured")
+                )
+        self._attempt(report, f"{name}: go to sleep pose", proxy.go_to_sleep_pose)
+
+    def _quiesce_device(self, name: str, proxy: DeviceProxy, device, report: RecoveryReport) -> None:
+        if getattr(device, "active", False):
+            stopper = getattr(proxy, "stop_action", None) or getattr(proxy, "stop", None)
+            if stopper is not None:
+                self._attempt(report, f"{name}: stop", stopper)

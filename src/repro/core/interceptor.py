@@ -1,0 +1,399 @@
+"""Command interception — the RATracer substitute.
+
+§II-C: "We use an open-source tracing framework RATracer, which
+instruments the Python experiment scripts to intercept and trace all
+device commands at run time.  We reconfigure RATracer such that every
+time it traces a command, it first checks with RABIT if the command is
+safe to run: if RABIT raises an alert, the experiment is halted (RATracer
+raises a Python exception in this case); otherwise, the command is
+forwarded to the device and executed."
+
+:class:`DeviceProxy` is that reconfigured tracer: it wraps a device
+object, resolves each method call into an :class:`ActionCall`, asks the
+:class:`~repro.core.monitor.Rabit` monitor to guard it, and appends a
+:class:`CommandRecord` to the shared trace.  Methods without an action
+mapping (``status``, helpers) pass straight through, untraced — exactly
+like the low-level calls RATracer does not instrument.
+
+The proxy also charges the *baseline* execution time of every command to
+the virtual clock, so the latency experiment can compute RABIT's
+percentage overhead with and without the monitor in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.actions import ActionCall, ActionLabel
+from repro.core.clock import VirtualClock
+from repro.core.errors import Alert, SafetyViolation
+from repro.core.monitor import Rabit
+from repro.devices.base import Device
+from repro.devices.container import Vial
+from repro.devices.dosing import SolidDosingDevice, SyringePump
+from repro.devices.multi_door import MultiDoorDosingDevice
+from repro.devices.action_device import ActionDeviceBase, Centrifuge, Decapper
+from repro.devices.locations import LocationKind
+from repro.devices.robot import RobotArmDevice
+
+#: Nominal execution time per action, in virtual seconds.  Robot moves
+#: dominate (a few seconds of arm motion); everything else is quicker.
+#: These are the baseline the §II-C overhead percentages divide by.
+BASELINE_DURATION: Dict[ActionLabel, float] = {
+    ActionLabel.MOVE_ROBOT: 2.0,
+    ActionLabel.MOVE_ROBOT_INSIDE: 2.0,
+    ActionLabel.PICK_OBJECT: 2.5,
+    ActionLabel.PLACE_OBJECT: 2.5,
+    ActionLabel.OPEN_GRIPPER: 0.5,
+    ActionLabel.CLOSE_GRIPPER: 0.5,
+    ActionLabel.GO_HOME: 2.0,
+    ActionLabel.GO_SLEEP: 2.0,
+    ActionLabel.OPEN_DOOR: 1.5,
+    ActionLabel.CLOSE_DOOR: 1.5,
+    ActionLabel.START_DOSING: 3.0,
+    ActionLabel.DOSE_LIQUID: 3.0,
+    ActionLabel.STOP_DOSING: 0.5,
+    ActionLabel.START_ACTION: 1.0,
+    ActionLabel.STOP_ACTION: 0.5,
+    ActionLabel.SET_ACTION_VALUE: 0.5,
+    ActionLabel.ROTATE_ROTOR: 1.0,
+    ActionLabel.CAP: 1.0,
+    ActionLabel.DECAP: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class CommandRecord:
+    """One traced command (the RATracer trace line)."""
+
+    time: float
+    device: str
+    method: str
+    args: Tuple[Any, ...]
+    label: Optional[ActionLabel]
+    alert: Optional[Alert]
+    #: Resolved location name for robot moves/picks/places, when known.
+    location: Optional[str] = None
+
+    def __str__(self) -> str:
+        outcome = f" !! {self.alert}" if self.alert else ""
+        args = ", ".join(repr(a) for a in self.args)
+        return f"[{self.time:9.3f}s] {self.device}.{self.method}({args}){outcome}"
+
+
+class DeviceProxy:
+    """Wraps one device; intercepts, resolves, guards, and traces calls."""
+
+    #: Max distance (m) between the arm's reported position and a
+    #: location's coordinates for gripper commands to be attributed to it.
+    LOCATION_MATCH_TOLERANCE = 0.05
+
+    def __init__(
+        self,
+        device: Device,
+        rabit: Optional[Rabit],
+        trace: List[CommandRecord],
+        clock: VirtualClock,
+    ) -> None:
+        self._device = device
+        self._rabit = rabit
+        self._trace = trace
+        self._clock = clock
+
+    # Expose identity for convenience in scripts/tests.
+    @property
+    def name(self) -> str:
+        """Name of the wrapped device."""
+        return self._device.name
+
+    @property
+    def wrapped(self) -> Device:
+        """The underlying device object."""
+        return self._device
+
+    def __getattr__(self, attr: str) -> Any:
+        attr_callable = getattr(self._device, attr)
+        if not callable(attr_callable):
+            return attr_callable
+        resolver = _resolver_for(self._device, attr)
+        if resolver is None:
+            return attr_callable  # unmodeled method: pass through untraced
+
+        def traced(*args: Any, **kwargs: Any) -> Any:
+            call = resolver(self._device, args, kwargs)
+            self._clock.advance(
+                self._device.connection.command_latency
+                + BASELINE_DURATION.get(call.label, 1.0),
+                "experiment",
+            )
+            alert: Optional[Alert] = None
+            try:
+                if self._rabit is None:
+                    return attr_callable(*args, **kwargs)
+                before = self._rabit.alert_count
+                result = self._rabit.guard(call, lambda: attr_callable(*args, **kwargs))
+                if self._rabit.alert_count > before:
+                    alert = self._rabit.last_alert()
+                return result
+            except SafetyViolation as violation:
+                alert = violation.alert
+                raise
+            finally:
+                self._trace.append(
+                    CommandRecord(
+                        time=self._clock.now,
+                        device=self._device.name,
+                        method=attr,
+                        args=args,
+                        label=call.label,
+                        alert=alert,
+                        location=call.location,
+                    )
+                )
+
+        return traced
+
+
+# ---------------------------------------------------------------------------
+# Resolvers: (device, args, kwargs) -> ActionCall
+# ---------------------------------------------------------------------------
+
+Resolver = Callable[[Device, tuple, dict], ActionCall]
+
+
+def _nearest_location(robot: RobotArmDevice) -> Optional[str]:
+    """Attribute a gripper command to the location the arm hovers over.
+
+    Uses the robot's *status command* (its observable position) — the same
+    information RABIT legitimately has via the device connection."""
+    reported = np.asarray(robot.status()["position"], dtype=np.float64)
+    best_name: Optional[str] = None
+    best_dist = DeviceProxy.LOCATION_MATCH_TOLERANCE
+    for loc in robot.world.locations:
+        try:
+            coords = np.asarray(loc.coord_for(robot.name), dtype=np.float64)
+        except KeyError:
+            continue
+        dist = float(np.linalg.norm(reported - coords))
+        if dist < best_dist:
+            best_dist = dist
+            best_name = loc.name
+    return best_name
+
+
+def _move_call(robot: RobotArmDevice, ref: Any, method: str) -> ActionCall:
+    target, location = robot.resolve_location(ref)
+    label = ActionLabel.MOVE_ROBOT
+    loc_name = None
+    if location is not None:
+        loc_name = location.name
+        if location.kind is LocationKind.DEVICE_INTERIOR:
+            label = ActionLabel.MOVE_ROBOT_INSIDE
+    return ActionCall(
+        label=label,
+        device=robot.name,
+        robot=robot.name,
+        location=loc_name,
+        target=(float(target[0]), float(target[1]), float(target[2])),
+        raw_command=f"{robot.name}.{method}({ref!r})",
+    )
+
+
+def _pickplace_call(robot: RobotArmDevice, ref: Any, label: ActionLabel) -> ActionCall:
+    target, location = robot.resolve_location(ref)
+    return ActionCall(
+        label=label,
+        device=robot.name,
+        robot=robot.name,
+        location=location.name if location is not None else None,
+        target=(float(target[0]), float(target[1]), float(target[2])),
+        raw_command=f"{robot.name}.{label.value}({ref!r})",
+    )
+
+
+def _resolver_for(device: Device, method: str) -> Optional[Resolver]:
+    """Resolve a (device type, method) pair to an ActionCall factory."""
+    if isinstance(device, RobotArmDevice):
+        if method in ("move_to_location", "move_pose"):
+            return lambda d, a, k: _move_call(d, a[0] if a else k["ref"], method)
+        if method == "go_to_home_pose":
+            return lambda d, a, k: ActionCall(
+                ActionLabel.GO_HOME, d.name, robot=d.name, raw_command=f"{d.name}.go_to_home_pose()"
+            )
+        if method == "go_to_sleep_pose":
+            return lambda d, a, k: ActionCall(
+                ActionLabel.GO_SLEEP, d.name, robot=d.name, raw_command=f"{d.name}.go_to_sleep_pose()"
+            )
+        if method == "pick_up_vial":
+            return lambda d, a, k: _pickplace_call(
+                d, a[0] if a else k["ref"], ActionLabel.PICK_OBJECT
+            )
+        if method == "place_vial":
+            return lambda d, a, k: _pickplace_call(
+                d, a[0] if a else k["ref"], ActionLabel.PLACE_OBJECT
+            )
+        if method == "open_gripper":
+            return lambda d, a, k: ActionCall(
+                ActionLabel.OPEN_GRIPPER,
+                d.name,
+                robot=d.name,
+                location=_nearest_location(d),
+                raw_command=f"{d.name}.open_gripper()",
+            )
+        if method == "close_gripper":
+            return lambda d, a, k: ActionCall(
+                ActionLabel.CLOSE_GRIPPER,
+                d.name,
+                robot=d.name,
+                location=_nearest_location(d),
+                raw_command=f"{d.name}.close_gripper()",
+            )
+        return None
+
+    if isinstance(device, SolidDosingDevice):
+        if method == "set_door":
+            return lambda d, a, k: ActionCall(
+                ActionLabel.OPEN_DOOR
+                if (a[1] if len(a) > 1 else k.get("state")) == "open"
+                else ActionLabel.CLOSE_DOOR,
+                d.name,
+                raw_command=f"{d.name}.set_door{a!r}",
+            )
+        if method == "open_door":
+            return lambda d, a, k: ActionCall(ActionLabel.OPEN_DOOR, d.name)
+        if method == "close_door":
+            return lambda d, a, k: ActionCall(ActionLabel.CLOSE_DOOR, d.name)
+        if method in ("run_action", "dose_solid"):
+            return lambda d, a, k: ActionCall(
+                ActionLabel.START_DOSING,
+                d.name,
+                quantity=float(
+                    k.get("quantity", k.get("amount_mg", a[1] if len(a) > 1 else (a[0] if a else 0.0)))
+                ),
+                raw_command=f"{d.name}.{method}{a!r}",
+            )
+        if method == "stop_action":
+            return lambda d, a, k: ActionCall(ActionLabel.STOP_DOSING, d.name)
+        return None
+
+    if isinstance(device, MultiDoorDosingDevice):
+        if method == "set_door":
+            return lambda d, a, k: ActionCall(
+                ActionLabel.OPEN_DOOR
+                if (a[1] if len(a) > 1 else k.get("state")) == "open"
+                else ActionLabel.CLOSE_DOOR,
+                f"{d.name}:{a[0] if a else k.get('door_name')}",
+                raw_command=f"{d.name}.set_door{a!r}",
+            )
+        if method in ("open_door", "close_door"):
+            label = ActionLabel.OPEN_DOOR if method == "open_door" else ActionLabel.CLOSE_DOOR
+            return lambda d, a, k, label=label: ActionCall(
+                label,
+                f"{d.name}:{a[0] if a else k.get('door_name')}",
+                raw_command=f"{d.name}.{method}{a!r}",
+            )
+        if method == "dose_solid":
+            return lambda d, a, k: ActionCall(
+                ActionLabel.START_DOSING,
+                d.name,
+                quantity=float(a[0] if a else k.get("amount_mg", 0.0)),
+                raw_command=f"{d.name}.dose_solid{a!r}",
+            )
+        if method == "stop_action":
+            return lambda d, a, k: ActionCall(ActionLabel.STOP_DOSING, d.name)
+        return None
+
+    if isinstance(device, SyringePump):
+        if method in ("dose_initial_solvent", "dose_solvent"):
+            return lambda d, a, k: ActionCall(
+                ActionLabel.DOSE_LIQUID,
+                d.name,
+                quantity=float(a[0] if a else k.get("volume_ml", 0.0)),
+                raw_command=f"{d.name}.{method}{a!r}",
+            )
+        if method == "stop":
+            return lambda d, a, k: ActionCall(ActionLabel.STOP_DOSING, d.name)
+        return None
+
+    if isinstance(device, Decapper):
+        if method in ("cap", "decap"):
+            label = ActionLabel.CAP if method == "cap" else ActionLabel.DECAP
+            def resolve(d: Decapper, a: tuple, k: dict, label=label) -> ActionCall:
+                vial = d.world.vial_inside_device(d.name)
+                return ActionCall(
+                    label,
+                    vial.name if vial is not None else d.name,
+                    raw_command=f"{d.name}.{method}()",
+                )
+            return resolve
+
+    if isinstance(device, ActionDeviceBase):
+        if method == "set_door":
+            return lambda d, a, k: ActionCall(
+                ActionLabel.OPEN_DOOR
+                if (a[1] if len(a) > 1 else k.get("state")) == "open"
+                else ActionLabel.CLOSE_DOOR,
+                d.name,
+                raw_command=f"{d.name}.set_door{a!r}",
+            )
+        if method == "open_door":
+            return lambda d, a, k: ActionCall(ActionLabel.OPEN_DOOR, d.name)
+        if method == "close_door":
+            return lambda d, a, k: ActionCall(ActionLabel.CLOSE_DOOR, d.name)
+        if method in ("start_action", "stir_solution", "shake"):
+            return lambda d, a, k: ActionCall(
+                ActionLabel.START_ACTION,
+                d.name,
+                value=float(a[0]) if a else k.get("value", k.get("temperature", k.get("speed_rpm"))),
+                raw_command=f"{d.name}.{method}{a!r}",
+            )
+        if method == "set_action_value":
+            return lambda d, a, k: ActionCall(
+                ActionLabel.SET_ACTION_VALUE,
+                d.name,
+                value=float(a[0] if a else k.get("value", 0.0)),
+                raw_command=f"{d.name}.set_action_value{a!r}",
+            )
+        if method == "stop_action":
+            return lambda d, a, k: ActionCall(ActionLabel.STOP_ACTION, d.name)
+        if method == "rotate_rotor":
+            return lambda d, a, k: ActionCall(
+                ActionLabel.ROTATE_ROTOR,
+                d.name,
+                direction=str(a[0] if a else k.get("direction")),
+                raw_command=f"{d.name}.rotate_rotor{a!r}",
+            )
+        return None
+
+    if isinstance(device, Vial):
+        if method == "cap_vial":
+            return lambda d, a, k: ActionCall(ActionLabel.CAP, d.name)
+        if method == "decap_vial":
+            return lambda d, a, k: ActionCall(ActionLabel.DECAP, d.name)
+        return None
+
+    return None
+
+
+def instrument(
+    devices: Dict[str, Device],
+    rabit: Optional[Rabit],
+    clock: Optional[VirtualClock] = None,
+    trace: Optional[List[CommandRecord]] = None,
+) -> Tuple[Dict[str, DeviceProxy], List[CommandRecord]]:
+    """Wrap every device in a tracing proxy bound to *rabit*.
+
+    Pass ``rabit=None`` to trace commands without any safety monitoring —
+    the latency experiment's baseline configuration.  Returns the proxy
+    map and the shared trace list.
+    """
+    the_clock = clock or (rabit.clock if rabit is not None else VirtualClock())
+    the_trace: List[CommandRecord] = trace if trace is not None else []
+    proxies = {
+        name: DeviceProxy(device, rabit, the_trace, the_clock)
+        for name, device in devices.items()
+    }
+    return proxies, the_trace

@@ -1,0 +1,309 @@
+"""The Fig. 2 execution algorithm.
+
+:class:`Rabit` intercepts each command (via
+:mod:`repro.core.interceptor`), and per Fig. 2:
+
+1.  ``Valid(S_current, a_next)`` — evaluate every applicable rule's
+    precondition; on failure, ``alertAndStop("Invalid Command!")``
+    *before* execution (lines 6-7).
+2.  For robot commands with a simulator attached,
+    ``ValidTrajectory(a_next)`` — the Extended Simulator sweeps the
+    actually-planned trajectory; on predicted collision,
+    ``alertAndStop("Invalid trajectory!")`` (lines 8-10).
+3.  ``S_expected <- UpdateState(S_current, a_next)`` via the transition
+    table (line 11).
+4.  Execute the command (line 12).
+5.  ``S_actual <- FetchState()`` — one status round-trip per device
+    (line 13).
+6.  ``S_actual != S_expected`` over observable variables →
+    ``alertAndStop("Device malfunction!")`` (lines 14-15).
+7.  ``S_current <- S_actual`` (line 16).
+
+:class:`RabitOptions` captures the paper's two deployed revisions:
+``RabitOptions.initial()`` is RABIT as first evaluated (detects 8/16
+campaign bugs); ``RabitOptions.modified()`` adds held-object geometry,
+capacity enforcement, and workspace bounds (12/16); pairing either with
+``use_extended_simulator=True`` adds full trajectory sweeps (13/16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Protocol
+
+from repro.core.actions import ActionCall, ActionLabel, TransitionTable
+from repro.core.clock import VirtualClock
+from repro.core.errors import Alert, AlertKind, SafetyViolation
+from repro.core.model import RabitLabModel
+from repro.core.rulebase import CheckContext, RuleBase, build_default_rulebase
+from repro.core.state import LabState
+from repro.devices.base import Device
+
+#: Action labels that move a robot arm (Fig. 2's ``isRobotCommand``).
+ROBOT_MOVE_LABELS = frozenset(
+    {
+        ActionLabel.MOVE_ROBOT,
+        ActionLabel.MOVE_ROBOT_INSIDE,
+        ActionLabel.PICK_OBJECT,
+        ActionLabel.PLACE_OBJECT,
+        ActionLabel.GO_HOME,
+        ActionLabel.GO_SLEEP,
+    }
+)
+
+
+class TrajectoryChecker(Protocol):
+    """Interface the Extended Simulator implements (Fig. 2 line 9)."""
+
+    def validate_trajectory(
+        self, call: ActionCall, state: LabState, model: RabitLabModel,
+        account_held_objects: bool,
+    ) -> Optional[str]:
+        """Reason the trajectory is invalid, or ``None`` if collision-free."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class RabitOptions:
+    """Feature flags distinguishing the paper's RABIT revisions."""
+
+    #: Model held-object geometry in collision checks (post-Bug-D fix).
+    account_held_objects: bool = True
+    #: Enforce container capacities in Rule 8.
+    enforce_capacity: bool = True
+    #: Enforce per-frame workspace bounds (deck edges / walls).
+    enforce_workspace_bounds: bool = True
+    #: Consult the Extended Simulator for robot commands.
+    use_extended_simulator: bool = False
+    #: Stop the experiment on an alert (the Hein Lab's recommendation);
+    #: False logs the alert and lets execution continue (fail-safe mode).
+    preemptive_stop: bool = True
+    #: Virtual seconds of RABIT bookkeeping per intercepted command.
+    bookkeeping_latency: float = 0.004
+    #: Virtual seconds per Extended Simulator invocation when its GUI is
+    #: in the loop (§II-C measured ~2 s; "we plan to bypass the GUI").
+    gui_latency: float = 2.0
+    #: Whether the Extended Simulator's GUI is bypassed (deployment plan).
+    bypass_gui: bool = False
+
+    @classmethod
+    def initial(cls, **overrides: Any) -> "RabitOptions":
+        """RABIT as first deployed: bare-arm geometry only."""
+        base = cls(
+            account_held_objects=False,
+            enforce_capacity=False,
+            enforce_workspace_bounds=False,
+        )
+        return replace(base, **overrides)
+
+    @classmethod
+    def modified(cls, **overrides: Any) -> "RabitOptions":
+        """RABIT after the §IV fixes."""
+        return replace(cls(), **overrides)
+
+
+class Rabit:
+    """The RABIT monitor bound to one lab."""
+
+    def __init__(
+        self,
+        model: RabitLabModel,
+        devices: Dict[str, Device],
+        options: Optional[RabitOptions] = None,
+        rulebase: Optional[RuleBase] = None,
+        trajectory_checker: Optional[TrajectoryChecker] = None,
+        clock: Optional[VirtualClock] = None,
+    ) -> None:
+        self.model = model
+        self.devices = dict(devices)
+        self.options = options or RabitOptions.modified()
+        self.rulebase = rulebase or build_default_rulebase(model.custom_rule_ids)
+        self.trajectory_checker = trajectory_checker
+        self.clock = clock or VirtualClock()
+        self.transition_table = TransitionTable()
+        self.state = LabState()
+        #: Every alert raised so far (kept even in fail-safe mode).
+        self.alerts: List[Alert] = []
+        #: Post-action observers (the time multiplexer registers here).
+        self.observers: List[Callable[[ActionCall], None]] = []
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Initialization (Fig. 2 lines 1-3)
+    # ------------------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Acquire ``S_initial`` from status commands and set ``S_current``."""
+        observed = self._fetch_state()
+        self.state = self.state.merge_observed(observed)
+        self._initialized = True
+
+    def seed_tracked(self, var: str, key: str, value: Any) -> None:
+        """Seed a tracked (unobservable) variable of the initial state.
+
+        The researcher supplies the initial inventory — which vial starts
+        where and what it contains — because no sensor can report it."""
+        self.state.set(var, key, value)
+
+    # ------------------------------------------------------------------
+    # The guarded execution path (Fig. 2 lines 4-16)
+    # ------------------------------------------------------------------
+
+    def guard(self, call: ActionCall, execute: Callable[[], Any]) -> Any:
+        """Validate *call*, run *execute*, verify the resulting state.
+
+        Raises :class:`SafetyViolation` on any alert when
+        ``preemptive_stop`` is set; otherwise records the alert and, for
+        precondition/trajectory alerts, still skips the unsafe command.
+        """
+        if not self._initialized:
+            self.initialize()
+        self.clock.advance(self.options.bookkeeping_latency, "rabit_bookkeeping")
+        # With the Extended Simulator attached, its GUI (in a VM) mirrors
+        # every command so the deck view stays in sync — this render loop
+        # is the dominant §II-C cost ("invoked each time RABIT checks"),
+        # and the one the paper plans to bypass for deployment.
+        if (
+            self.options.use_extended_simulator
+            and self.trajectory_checker is not None
+            and not self.options.bypass_gui
+        ):
+            self.clock.advance(self.options.gui_latency, "rabit_simulator_gui")
+
+        # Lines 6-7: precondition validation.
+        reason = self._validate(call)
+        if reason is not None:
+            rule_id, message = reason
+            return self._alert(
+                Alert(
+                    kind=AlertKind.INVALID_COMMAND,
+                    message=message,
+                    command=call.describe(),
+                    rule_id=rule_id,
+                )
+            )
+
+        # Lines 8-10: trajectory validation for robot commands.
+        if (
+            call.label in ROBOT_MOVE_LABELS
+            and self.options.use_extended_simulator
+            and self.trajectory_checker is not None
+        ):
+            problem = self.trajectory_checker.validate_trajectory(
+                call,
+                self.state,
+                self.model,
+                account_held_objects=self.options.account_held_objects,
+            )
+            if problem is not None:
+                return self._alert(
+                    Alert(
+                        kind=AlertKind.INVALID_TRAJECTORY,
+                        message=problem,
+                        command=call.describe(),
+                    )
+                )
+
+        # Line 11: expected state from postconditions.
+        expected = self.transition_table.expected_state(
+            self.state, call, self.model.transition_context()
+        )
+
+        # Line 12: execute the (now believed-safe) command.
+        result = execute()
+
+        # Lines 13-15: fetch actual state, compare with expected.
+        observed = self._fetch_state()
+        mismatches = expected.diff_observable(observed)
+        # Line 16: adopt the actual state (observed over expected).
+        self.state = expected.merge_observed(observed)
+        for observer in self.observers:
+            observer(call)
+        if mismatches:
+            var, key, want, got = mismatches[0]
+            self._alert(
+                Alert(
+                    kind=AlertKind.DEVICE_MALFUNCTION,
+                    message=(
+                        f"after {call.label.value}: expected {var}[{key}] = "
+                        f"{want!r} but device reports {got!r}"
+                    ),
+                    command=call.describe(),
+                    involved=(key,),
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _validate(self, call: ActionCall) -> Optional[tuple]:
+        ctx = CheckContext(
+            state=self.state,
+            call=call,
+            model=self.model,
+            account_held_objects=self.options.account_held_objects,
+            enforce_workspace_bounds=self.options.enforce_workspace_bounds,
+            enforce_capacity=self.options.enforce_capacity,
+        )
+        hit = self.rulebase.check_action(ctx)
+        if hit is not None:
+            rule, message = hit
+            return rule.rule_id, message
+        for precondition in self.model.extra_preconditions:
+            message = precondition(self.state, call)
+            if message is not None:
+                return None, message
+        return None
+
+    def _alert(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+        if self.options.preemptive_stop:
+            raise SafetyViolation(alert)
+        return None
+
+    def _fetch_state(self) -> LabState:
+        """Fig. 2's ``FetchState()``: one status round-trip per device."""
+        observed = LabState()
+        for name, device in self.devices.items():
+            self.clock.advance(device.connection.status_latency, "rabit_fetch_state")
+            report = device.status()
+            for status_key, value in report.items():
+                if status_key.startswith("door:"):
+                    # Multi-door devices report one state per named door
+                    # under the compound key "<device>:<door>" (§V-C).
+                    observed.set(
+                        "door_status", f"{name}:{status_key[len('door:'):]}", value
+                    )
+                    continue
+                var = _STATUS_KEY_TO_VAR.get(status_key)
+                if var is not None:
+                    observed.set(var, name, value)
+        return observed
+
+    @property
+    def alert_count(self) -> int:
+        """Number of alerts raised so far."""
+        return len(self.alerts)
+
+    def last_alert(self) -> Optional[Alert]:
+        """Most recent alert, if any."""
+        return self.alerts[-1] if self.alerts else None
+
+
+#: How device status-report keys map onto state variables.
+_STATUS_KEY_TO_VAR: Dict[str, str] = {
+    "door": "door_status",
+    "active": "device_active",
+    "action_value": "action_value",
+    "red_dot": "red_dot",
+    "stopper": "container_stopper",
+    "dispensed_mg": "dispensed_mg",
+    "dispensed_ml": "dispensed_ml",
+    "gripper": "gripper",
+    "occupied": "zone_occupied",
+    # "position" is intentionally unmapped: Cartesian position is not one
+    # of RABIT's discrete state variables (Table II), which is why silent
+    # skips and mid-space collisions produce no state discrepancy.
+}

@@ -1,0 +1,169 @@
+"""Time and space multiplexing of multiple robot arms (§IV, category 2).
+
+The paper could not detect arm-arm collisions directly (no common frame of
+reference with acceptable error), so it *prevents* them instead:
+
+    "we multiplex robot arm movements in either time or space.  To
+    multiplex in time, we ensure that, at any given time, only one robot
+    is in motion whereas other robot arms are in their sleep position and
+    modeled as 3D cuboid spaces (identically to other devices). ...  For
+    space multiplexing, we add a software-defined wall between the two
+    robot arms in their environments, providing each robot with its own
+    dedicated space in which it can move, while allowing to let them move
+    concurrently."
+
+Both policies plug into RABIT exactly the way the paper describes —
+"we modify RABIT to add preconditions to enforce this behavior":
+
+- :class:`TimeMultiplexer` registers an extra precondition that rejects a
+  move by robot A while robot B is awake, and swaps per-frame sleep-pose
+  cuboids for sleeping arms in and out of the obstacle model;
+- :class:`SpaceMultiplexer` registers a software wall per frame, which
+  rule G3 (and the Extended Simulator sweep) then enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.actions import ActionCall, ActionLabel
+from repro.core.model import ObstacleModel, RabitLabModel
+from repro.core.monitor import ROBOT_MOVE_LABELS, Rabit
+from repro.core.state import LabState
+from repro.geometry.shapes import Cuboid
+from repro.geometry.walls import SoftwareWall
+
+_WAKE_LABELS = ROBOT_MOVE_LABELS - {ActionLabel.GO_SLEEP}
+
+
+class TimeMultiplexer:
+    """Only one robot moves at a time; sleeping arms become cuboids.
+
+    ``sleep_footprints`` maps each robot name to its sleep-pose cuboid
+    *per frame* — e.g. "Ned2's shape and sleep position in ViperX's
+    environment (and vice versa)".  All robots are assumed asleep when the
+    multiplexer attaches; wake/sleep transitions are observed from the
+    guarded action stream.
+    """
+
+    def __init__(
+        self,
+        rabit: Rabit,
+        sleep_footprints: Dict[str, Dict[str, Cuboid]],
+    ) -> None:
+        self._rabit = rabit
+        self._model = rabit.model
+        self._sleep_footprints = dict(sleep_footprints)
+        self._awake: Set[str] = set()
+        self._robot_names = {r.name for r in self._model.robots()}
+        unknown = set(self._sleep_footprints) - self._robot_names
+        if unknown:
+            raise ValueError(f"sleep footprints for unknown robots: {sorted(unknown)}")
+        for robot in self._robot_names & set(self._sleep_footprints):
+            self._add_sleep_obstacle(robot)
+        rabit.model.extra_preconditions.append(self._precondition)
+        rabit.observers.append(self._observe)
+
+    # -- the added precondition ---------------------------------------------
+
+    def _precondition(self, state: LabState, call: ActionCall) -> Optional[str]:
+        if call.label not in _WAKE_LABELS or call.robot is None:
+            return None
+        others_awake = sorted(
+            (self._awake | self._implicitly_awake()) - {call.robot}
+        )
+        if not others_awake:
+            return None
+        return (
+            f"time multiplexing: robot {call.robot!r} may not move while "
+            f"{', '.join(repr(r) for r in others_awake)} is not in its sleep "
+            f"position"
+        )
+
+    def _implicitly_awake(self) -> Set[str]:
+        """Robots with no sleep footprint configured are always 'awake'
+        only once they have moved; before that they are treated as parked."""
+        return set()
+
+    # -- observation of the guarded stream ------------------------------------
+
+    def _observe(self, call: ActionCall) -> None:
+        if call.robot is None or call.robot not in self._robot_names:
+            return
+        if call.label is ActionLabel.GO_SLEEP:
+            self._awake.discard(call.robot)
+            self._add_sleep_obstacle(call.robot)
+        elif call.label in _WAKE_LABELS:
+            if call.robot not in self._awake:
+                self._awake.add(call.robot)
+                self._remove_sleep_obstacle(call.robot)
+
+    # -- obstacle bookkeeping ----------------------------------------------------
+
+    def _obstacle_name(self, robot: str) -> str:
+        return f"sleeping_{robot}"
+
+    def _add_sleep_obstacle(self, robot: str) -> None:
+        frames = self._sleep_footprints.get(robot)
+        if not frames:
+            return
+        name = self._obstacle_name(robot)
+        self._model.remove_obstacle(name)
+        self._model.add_obstacle(
+            ObstacleModel(
+                name=name,
+                frames={f: box.renamed(name) for f, box in frames.items()},
+            )
+        )
+
+    def _remove_sleep_obstacle(self, robot: str) -> None:
+        self._model.remove_obstacle(self._obstacle_name(robot))
+
+    @property
+    def awake(self) -> Tuple[str, ...]:
+        """Robots currently considered out of their sleep position."""
+        return tuple(sorted(self._awake))
+
+
+class SpaceMultiplexer:
+    """Partition the deck with a software wall; arms move concurrently.
+
+    ``walls`` maps each robot frame to the :class:`SoftwareWall` bounding
+    that robot's side of the deck (each robot gets the wall expressed in
+    its own coordinate system, with the permitted half-space facing its
+    own base).
+    """
+
+    def __init__(self, rabit: Rabit, walls: Dict[str, SoftwareWall]) -> None:
+        self._rabit = rabit
+        frames = {r.frame or r.name for r in rabit.model.robots()}
+        unknown = set(walls) - frames
+        if unknown:
+            raise ValueError(f"walls for unknown robot frames: {sorted(unknown)}")
+        for frame, wall in walls.items():
+            rabit.model.walls.setdefault(frame, []).append(wall)
+
+    @staticmethod
+    def dividing_wall_for_frames(
+        axis: int,
+        boundary_in_frame: Dict[str, float],
+        keep_below: Dict[str, bool],
+        name: str = "divider",
+    ) -> Dict[str, SoftwareWall]:
+        """Build one physical wall expressed in several frames.
+
+        *boundary_in_frame* gives the wall's coordinate along *axis* in
+        each frame; *keep_below* says whether that frame's robot must stay
+        on the low side of the axis.
+        """
+        walls: Dict[str, SoftwareWall] = {}
+        for frame, boundary in boundary_in_frame.items():
+            normal = [0.0, 0.0, 0.0]
+            if keep_below.get(frame, True):
+                normal[axis] = 1.0
+                walls[frame] = SoftwareWall(tuple(normal), boundary, name=name)
+            else:
+                normal[axis] = -1.0
+                walls[frame] = SoftwareWall(tuple(normal), -boundary, name=name)
+        return walls

@@ -1,0 +1,96 @@
+"""The human-safety rule built on the §V-B sensor extension.
+
+RABIT "in its current state ... does not consider nearby humans"; the
+paper proposes responding "to sensor inputs that indicate a robot arm is
+approaching the area that is occupied".  :func:`make_proximity_rule`
+builds exactly that rule, registered at run time like any lab-specific
+customization:
+
+    **S1** — a robot arm may not move into (or through) a sensor-watched
+    zone while the sensor reports it occupied.
+
+The check consults only RABIT-visible information: the sensor's
+observable status bit (refreshed by every ``FetchState``), the zone
+cuboid from configuration, and — when robot handles are provided — the
+arm's *reported* position for path sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.actions import ActionLabel
+from repro.core.rulebase import CheckContext, Rule, RuleScope
+from repro.devices.robot import RobotArmDevice
+from repro.devices.sensor import ProximitySensor
+from repro.geometry.collision import segment_cuboid_entry_time
+
+_GUARDED_LABELS = frozenset(
+    {
+        ActionLabel.MOVE_ROBOT,
+        ActionLabel.MOVE_ROBOT_INSIDE,
+        ActionLabel.PICK_OBJECT,
+        ActionLabel.PLACE_OBJECT,
+    }
+)
+
+
+def make_proximity_rule(
+    sensors: Dict[str, ProximitySensor],
+    robots: Optional[Dict[str, RobotArmDevice]] = None,
+    rule_id: str = "S1",
+) -> Rule:
+    """Build the occupied-zone precondition over *sensors*.
+
+    The rule reads zone occupancy from RABIT's state (the observable
+    ``zone_occupied`` variable), so a stuck sensor fools it exactly the
+    way it would fool the real system — the false-alarm trade-off the
+    Berlinguette Lab described.  Passing *robots* enables sweeping the
+    straight tool path from each arm's reported position; otherwise only
+    the commanded target is probed.
+    """
+    robot_handles = dict(robots or {})
+
+    def check(ctx: CheckContext) -> Optional[str]:
+        call = ctx.call
+        if call.robot is None or call.target is None:
+            return None
+        robot_model = ctx.model.device(call.robot)
+        frame = robot_model.frame or call.robot
+        target = np.asarray(call.target, dtype=np.float64)
+        for name, sensor in sensors.items():
+            # Poll the sensor's status command at validation time — zone
+            # occupancy changes spontaneously, so the snapshot taken after
+            # the previous command may already be stale.
+            if not sensor.status()["occupied"]:
+                continue
+            zone = sensor.zones.get(frame)
+            if zone is None:
+                continue
+            if zone.contains(target):
+                return (
+                    f"sensor {name!r} reports its zone occupied; robot "
+                    f"{call.robot!r} may not move into it"
+                )
+            robot = robot_handles.get(call.robot)
+            if robot is not None:
+                start = np.asarray(robot.status()["position"], dtype=np.float64)
+                if segment_cuboid_entry_time(start, target, zone) is not None:
+                    return (
+                        f"sensor {name!r} reports its zone occupied; the path "
+                        f"of {call.robot!r} would cross it"
+                    )
+        return None
+
+    return Rule(
+        rule_id=rule_id,
+        scope=RuleScope.CUSTOM,
+        description=(
+            "Robot arm cannot move into a sensor-watched zone while the "
+            "sensor reports it occupied (human-safety extension, §V-B)"
+        ),
+        labels=_GUARDED_LABELS,
+        check=check,
+    )

@@ -1,0 +1,151 @@
+"""RABIT's discrete lab state.
+
+Table II's state variables are *discrete*: ``deviceDoorStatus``,
+``robotArmInside``, ``robotArmHolding`` — notably **not** Cartesian robot
+positions.  This is load-bearing for the evaluation: because RABIT tracks
+moves only through discrete containment changes, a ViperX that silently
+skips a move (§IV, category 4) leaves no state discrepancy for RABIT to
+notice, and two arms colliding mid-space (category 2) changes no tracked
+variable at all.
+
+State variables fall into two classes:
+
+- **observable** — reported by a device status command, so ``FetchState()``
+  refreshes them and the expected-vs-actual comparison (Fig. 2 lines 13-15)
+  covers them: door status, device active flags, action values, rotor
+  red-dot, vial stoppers, dosing totals.
+- **tracked** — carried forward from postconditions only, because no
+  sensor reports them: what a gripper holds, what a vial contains, where a
+  vial rests, which robot is inside which device.
+
+``LabState`` stores both as ``var -> key -> value`` nested mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Variables a status command can refresh.
+OBSERVABLE_VARS = frozenset(
+    {
+        "door_status",  # device -> "open" | "closed"
+        "device_active",  # device -> bool
+        "action_value",  # device -> float
+        "red_dot",  # centrifuge -> "N" | "E" | "S" | "W"
+        "container_stopper",  # vial -> "on" | "off"
+        "dispensed_mg",  # doser -> float
+        "dispensed_ml",  # pump -> float
+        "gripper",  # robot -> "open" | "closed"
+        "zone_occupied",  # proximity sensor -> bool (§V-B extension)
+    }
+)
+
+#: Variables only postconditions maintain (no sensor exists).
+TRACKED_VARS = frozenset(
+    {
+        "robot_holding",  # robot -> vial name | None
+        "robot_inside",  # robot -> device name | None
+        "robot_entry_door",  # robot -> named door it entered through | None
+        "container_at",  # vial -> location name | None
+        "container_solid",  # vial -> mg (believed)
+        "container_liquid",  # vial -> mL (believed)
+    }
+)
+
+#: Observable variables that change *spontaneously* (no command drives
+#: them): sensor readings.  They are refreshed by FetchState like any
+#: observable, but excluded from the expected-vs-actual malfunction
+#: comparison — a person stepping into a zone is not a device fault.
+VOLATILE_VARS = frozenset({"zone_occupied"})
+
+ALL_VARS = OBSERVABLE_VARS | TRACKED_VARS
+
+#: Absolute tolerance when comparing float-valued observables.
+FLOAT_TOLERANCE = 1e-6
+
+
+class LabState:
+    """One snapshot of every state variable of every device."""
+
+    def __init__(self) -> None:
+        self._vars: Dict[str, Dict[str, Any]] = {var: {} for var in ALL_VARS}
+
+    # -- access ----------------------------------------------------------------
+
+    def get(self, var: str, key: str, default: Any = None) -> Any:
+        """Value of state variable *var* for device/vial/robot *key*."""
+        self._check_var(var)
+        return self._vars[var].get(key, default)
+
+    def set(self, var: str, key: str, value: Any) -> None:
+        """Set state variable *var* for *key* to *value*."""
+        self._check_var(var)
+        self._vars[var][key] = value
+
+    def entries(self, var: str) -> Dict[str, Any]:
+        """All ``key -> value`` entries of one variable."""
+        self._check_var(var)
+        return dict(self._vars[var])
+
+    def keys_where(self, var: str, value: Any) -> List[str]:
+        """All keys whose *var* entry equals *value*."""
+        self._check_var(var)
+        return [k for k, v in self._vars[var].items() if v == value]
+
+    def vial_at(self, location: str) -> Optional[str]:
+        """Name of the vial RABIT believes rests at *location*."""
+        matches = self.keys_where("container_at", location)
+        return matches[0] if matches else None
+
+    @staticmethod
+    def _check_var(var: str) -> None:
+        if var not in ALL_VARS:
+            raise KeyError(f"unknown state variable {var!r}; known: {sorted(ALL_VARS)}")
+
+    # -- snapshots --------------------------------------------------------------
+
+    def copy(self) -> "LabState":
+        """Deep copy of this snapshot."""
+        dup = LabState()
+        for var, entries in self._vars.items():
+            dup._vars[var] = dict(entries)
+        return dup
+
+    def merge_observed(self, observed: "LabState") -> "LabState":
+        """The paper's post-execution state: observed values override the
+        expected values for observable variables; tracked variables carry
+        forward unchanged (nothing can refresh them)."""
+        merged = self.copy()
+        for var in OBSERVABLE_VARS:
+            for key, value in observed._vars[var].items():
+                merged._vars[var][key] = value
+        return merged
+
+    # -- comparison ---------------------------------------------------------------
+
+    def diff_observable(self, other: "LabState") -> List[Tuple[str, str, Any, Any]]:
+        """Mismatches between two snapshots over observable variables.
+
+        Compares only keys present in *both* snapshots — a device that
+        reports an extra field is not a malfunction; a device whose
+        expected value differs from its report is.  Returns tuples of
+        ``(var, key, expected, actual)``.
+        """
+        mismatches: List[Tuple[str, str, Any, Any]] = []
+        for var in sorted(OBSERVABLE_VARS - VOLATILE_VARS):
+            mine = self._vars[var]
+            theirs = other._vars[var]
+            for key in sorted(set(mine) & set(theirs)):
+                a, b = mine[key], theirs[key]
+                if isinstance(a, float) or isinstance(b, float):
+                    if abs(float(a) - float(b)) > FLOAT_TOLERANCE:
+                        mismatches.append((var, key, a, b))
+                elif a != b:
+                    mismatches.append((var, key, a, b))
+        return mismatches
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        populated = {
+            var: entries for var, entries in self._vars.items() if entries
+        }
+        return f"LabState({populated!r})"

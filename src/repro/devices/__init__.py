@@ -1,0 +1,69 @@
+"""Simulated laboratory devices — the substrate RABIT monitors.
+
+The paper classifies every device in a self-driving lab into four types
+(§II-A): **Container**, **Robot Arm**, **Dosing System**, and **Action
+Device**.  This package implements stateful models of each type with the
+same command/status API surface the Hein Lab's Python wrappers expose, plus
+a ground-truth :class:`~repro.devices.world.LabWorld` that records what
+*physically* happens (collisions, spills, breakage) independently of what
+RABIT believes — which is how the evaluation distinguishes "RABIT detected
+the bug" from "the bug silently caused damage".
+"""
+
+from repro.devices.base import (
+    Device,
+    DeviceKind,
+    Door,
+    DoorState,
+    MalfunctionError,
+    SimulatedConnection,
+)
+from repro.devices.container import Substance, Contents, Vial
+from repro.devices.locations import Location, LocationKind, LocationTable
+from repro.devices.world import DamageEvent, DamageSeverity, LabWorld
+from repro.devices.robot import RobotArmDevice, GripperState
+from repro.devices.dosing import SolidDosingDevice, SyringePump
+from repro.devices.action_device import (
+    ActionDeviceBase,
+    Hotplate,
+    Centrifuge,
+    Thermoshaker,
+    Decapper,
+    SpinCoater,
+    UltrasonicNozzle,
+    XRFStation,
+)
+from repro.devices.sensor import ProximitySensor
+from repro.devices.multi_door import MultiDoorDosingDevice
+
+__all__ = [
+    "Device",
+    "DeviceKind",
+    "Door",
+    "DoorState",
+    "MalfunctionError",
+    "SimulatedConnection",
+    "Substance",
+    "Contents",
+    "Vial",
+    "Location",
+    "LocationKind",
+    "LocationTable",
+    "DamageEvent",
+    "DamageSeverity",
+    "LabWorld",
+    "RobotArmDevice",
+    "GripperState",
+    "SolidDosingDevice",
+    "SyringePump",
+    "ActionDeviceBase",
+    "Hotplate",
+    "Centrifuge",
+    "Thermoshaker",
+    "Decapper",
+    "SpinCoater",
+    "UltrasonicNozzle",
+    "XRFStation",
+    "ProximitySensor",
+    "MultiDoorDosingDevice",
+]

@@ -1,0 +1,131 @@
+"""Named locations and per-arm coordinate tables (the Fig. 6 model).
+
+Experiment scripts never pass raw coordinates around; they look up entries
+in a hard-coded utilities dictionary like Fig. 6's::
+
+    locations = {
+        "grid": {"NW": {"viperx": {"pickup": [0.537, 0.018, 0.12], ...}}},
+        "dosing_device": {"viperx": {"pickup": [0.15, 0.45, 0.10], ...}},
+    }
+
+Because the lab keeps every robot arm in its own coordinate system, each
+location stores one coordinate triple *per arm frame*.  Bug D of the paper
+is literally an edit to one of these triples (z 0.10 → 0.08), so the
+location table is a first-class, mutable object here — the fault injector
+mutates it exactly like the paper's naive programmer did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.geometry.vec import as_vec3
+
+
+class LocationKind(Enum):
+    """How RABIT should treat a move to this location."""
+
+    #: Open deck space (vial grids, waypoints).
+    FREE = "free"
+    #: Inside a device with a door — triggers the ``move_robot_inside``
+    #: action and General Rule 1 (door must be open).
+    DEVICE_INTERIOR = "device_interior"
+    #: Just outside a device, used to stage an approach; treated as FREE.
+    DEVICE_APPROACH = "device_approach"
+    #: A slot in a vial grid; occupancy-tracked.
+    GRID_SLOT = "grid_slot"
+
+
+@dataclass
+class Location:
+    """One named location with per-arm-frame coordinates.
+
+    ``device`` names the owning device for interior/approach locations
+    (``"dosing_device"`` for ``locations["dosing_device"]["viperx"]["pickup"]``).
+    ``via_door`` names the specific door guarding this interior on
+    multi-door devices (the §V-C extension); ``None`` means the device's
+    single unnamed door (or no door at all).
+    """
+
+    name: str
+    kind: LocationKind
+    coords: Dict[str, Tuple[float, float, float]] = field(default_factory=dict)
+    device: Optional[str] = None
+    via_door: Optional[str] = None
+    meta: str = ""
+
+    def coord_for(self, frame: str) -> Tuple[float, float, float]:
+        """Coordinates of this location in *frame* (an arm name or 'world')."""
+        try:
+            return self.coords[frame]
+        except KeyError:
+            raise KeyError(
+                f"location {self.name!r} has no coordinates in frame {frame!r}; "
+                f"known frames: {sorted(self.coords)}"
+            ) from None
+
+    def set_coord(self, frame: str, xyz: Sequence[float]) -> None:
+        """Set/overwrite this location's coordinates in *frame*.
+
+        This is the mutation surface the fault injector uses for the
+        paper's category-4 bugs ("changing position coordinates")."""
+        v = as_vec3(xyz)
+        self.coords[frame] = (float(v[0]), float(v[1]), float(v[2]))
+
+
+class LocationTable:
+    """Registry of all named locations on a deck."""
+
+    def __init__(self) -> None:
+        self._locations: Dict[str, Location] = {}
+
+    def add(self, location: Location) -> Location:
+        """Register *location*; its name must be unique on the deck."""
+        if location.name in self._locations:
+            raise ValueError(f"duplicate location name {location.name!r}")
+        self._locations[location.name] = location
+        return location
+
+    def define(
+        self,
+        name: str,
+        kind: LocationKind,
+        coords: Dict[str, Sequence[float]],
+        device: Optional[str] = None,
+        via_door: Optional[str] = None,
+        meta: str = "",
+    ) -> Location:
+        """Create and register a location in one call."""
+        loc = Location(name=name, kind=kind, device=device, via_door=via_door, meta=meta)
+        for frame, xyz in coords.items():
+            loc.set_coord(frame, xyz)
+        return self.add(loc)
+
+    def get(self, name: str) -> Location:
+        """Look up a location by name."""
+        try:
+            return self._locations[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown location {name!r}; known: {sorted(self._locations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._locations
+
+    def __iter__(self) -> Iterable[Location]:
+        return iter(self._locations.values())
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered location names."""
+        return tuple(self._locations)
+
+    def interiors_of(self, device: str) -> Tuple[Location, ...]:
+        """All interior locations belonging to *device*."""
+        return tuple(
+            loc
+            for loc in self._locations.values()
+            if loc.device == device and loc.kind is LocationKind.DEVICE_INTERIOR
+        )

@@ -1,0 +1,259 @@
+"""Ground-truth physical world of a (simulated) lab deck.
+
+:class:`LabWorld` records what *actually happens* when commands execute:
+where every vial rests, which arm is inside which device, and — crucially
+for the evaluation — every physical mishap, as :class:`DamageEvent`
+records with the paper's Table V severity scale.
+
+RABIT never reads this class.  RABIT sees only device status commands and
+its own rulebase; the world is the referee that the fault-injection
+campaign consults afterwards to ask "did the injected bug actually cause
+the unsafe outcome, and did RABIT stop it first?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.shapes import Cuboid
+from repro.geometry.transforms import FrameRegistry, Transform
+from repro.geometry.walls import Workspace
+from repro.devices.base import Device
+from repro.devices.container import Vial
+from repro.devices.locations import LocationTable
+
+
+class DamageSeverity(Enum):
+    """Table V's four severity bands, in increasing order."""
+
+    LOW = "low"  # wasting chemical materials
+    MEDIUM_LOW = "medium_low"  # breakage of glassware
+    MEDIUM_HIGH = "medium_high"  # harm to walls / platform / grids
+    HIGH = "high"  # breaking expensive equipment
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank (0 = LOW ... 3 = HIGH) for ordering."""
+        return ["low", "medium_low", "medium_high", "high"].index(self.value)
+
+
+@dataclass(frozen=True)
+class DamageEvent:
+    """One physical mishap that occurred in the world."""
+
+    severity: DamageSeverity
+    kind: str
+    description: str
+    involved: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.kind}: {self.description}"
+
+
+class LabWorld:
+    """Ground truth for one deck: devices, vials, locations, frames, damage.
+
+    Each robot arm keeps its own coordinate frame (the lab's *de facto*
+    approach, §IV); the world privately knows the exact transform of every
+    arm frame into a common world frame, which it uses for ground-truth
+    collision physics.  RABIT does **not** get these exact transforms — the
+    calibration experiment shows why (3 cm residuals on the testbed).
+    """
+
+    def __init__(self, name: str, workspace: Workspace) -> None:
+        self.name = name
+        self.workspace = workspace
+        self.frames = FrameRegistry()
+        self.locations = LocationTable()
+        self._devices: Dict[str, Device] = {}
+        self._vials: Dict[str, Vial] = {}
+        #: location name -> vial name, for occupancy-tracked locations.
+        self._occupancy: Dict[str, str] = {}
+        #: robot name -> device name it is currently inside (or absent).
+        self._robot_inside: Dict[str, str] = {}
+        #: robot name -> named door it entered through (multi-door devices).
+        self._robot_entry_door: Dict[str, Optional[str]] = {}
+        self._damage: List[DamageEvent] = []
+        #: device name -> world-frame footprint cuboid.
+        self._footprints: Dict[str, Cuboid] = {}
+        #: Horizontal support surfaces (deck platform, trays).  Surfaces are
+        #: checked only against *tip* points (gripper, held vial), never
+        #: against arm-link sweeps: arms are mounted ON these slabs, so a
+        #: link-level check would flag every arm's own base.
+        self._surfaces: Dict[str, Cuboid] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register_frame(self, arm_name: str, to_world: Transform) -> None:
+        """Record the exact transform of *arm_name*'s frame into the world."""
+        self.frames.register(arm_name, to_world)
+
+    def add_device(
+        self, device: Device, footprint: Optional[Cuboid] = None
+    ) -> Device:
+        """Place *device* on the deck, optionally with a world-frame cuboid."""
+        if device.name in self._devices:
+            raise ValueError(f"duplicate device name {device.name!r}")
+        self._devices[device.name] = device
+        if footprint is not None:
+            device.footprint = footprint.renamed(device.name)
+            self._footprints[device.name] = device.footprint
+        return device
+
+    def add_vial(self, vial: Vial, at_location: Optional[str] = None) -> Vial:
+        """Place *vial* on the deck, optionally resting at a location."""
+        if vial.name in self._vials:
+            raise ValueError(f"duplicate vial name {vial.name!r}")
+        self._vials[vial.name] = vial
+        if at_location is not None:
+            self.place_vial(vial.name, at_location)
+        return vial
+
+    # -- lookups -----------------------------------------------------------------
+
+    def device(self, name: str) -> Device:
+        """Look up a device by name."""
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise KeyError(f"unknown device {name!r}; known: {sorted(self._devices)}") from None
+
+    def vial(self, name: str) -> Vial:
+        """Look up a vial by name."""
+        try:
+            return self._vials[name]
+        except KeyError:
+            raise KeyError(f"unknown vial {name!r}; known: {sorted(self._vials)}") from None
+
+    def devices(self) -> Tuple[Device, ...]:
+        """All registered devices."""
+        return tuple(self._devices.values())
+
+    def vials(self) -> Tuple[Vial, ...]:
+        """All registered vials."""
+        return tuple(self._vials.values())
+
+    def footprint(self, device_name: str) -> Optional[Cuboid]:
+        """World-frame footprint of a device, if it has one."""
+        return self._footprints.get(device_name)
+
+    def footprints(self, exclude: Sequence[str] = ()) -> Tuple[Cuboid, ...]:
+        """All device footprints except those named in *exclude*."""
+        return tuple(
+            box for name, box in self._footprints.items() if name not in exclude
+        )
+
+    def add_obstacle(self, cuboid: Cuboid) -> None:
+        """Register a passive obstacle footprint (vial grids, fixtures)
+        that is not backed by a commandable device."""
+        if cuboid.name in self._footprints:
+            raise ValueError(f"duplicate footprint {cuboid.name!r}")
+        self._footprints[cuboid.name] = cuboid
+
+    def add_surface(self, cuboid: Cuboid) -> None:
+        """Register a support surface slab (platform, tray, grid base)."""
+        self._surfaces[cuboid.name] = cuboid
+
+    def surfaces(self) -> Tuple[Cuboid, ...]:
+        """All registered support surfaces."""
+        return tuple(self._surfaces.values())
+
+    def to_world(self, point: Sequence[float], frame: str) -> Tuple[float, float, float]:
+        """Map *point* from an arm frame into exact world coordinates."""
+        mapped = self.frames.to_world(frame).apply(point)
+        return (float(mapped[0]), float(mapped[1]), float(mapped[2]))
+
+    # -- occupancy ------------------------------------------------------------------
+
+    def occupant(self, location: str) -> Optional[str]:
+        """Name of the vial resting at *location*, if any."""
+        return self._occupancy.get(location)
+
+    def place_vial(self, vial_name: str, location: str) -> None:
+        """Rest a vial at a location (does not check legality — physics only)."""
+        self.locations.get(location)  # validate the location exists
+        vial = self.vial(vial_name)
+        if vial.resting_at is not None:
+            self._occupancy.pop(vial.resting_at, None)
+        occupant = self._occupancy.get(location)
+        if occupant is not None and occupant != vial_name:
+            # Two objects forced into the same slot: glassware collision.
+            self.record_damage(
+                DamageEvent(
+                    severity=DamageSeverity.MEDIUM_LOW,
+                    kind="vial_collision",
+                    description=(
+                        f"vial {vial_name!r} placed onto occupied location "
+                        f"{location!r} (already holds {occupant!r})"
+                    ),
+                    involved=(vial_name, occupant, location),
+                )
+            )
+            self.vial(occupant).shatter()
+        self._occupancy[location] = vial_name
+        vial.resting_at = location
+
+    def remove_vial(self, vial_name: str) -> None:
+        """Lift a vial off whatever location it rests at."""
+        vial = self.vial(vial_name)
+        if vial.resting_at is not None:
+            self._occupancy.pop(vial.resting_at, None)
+            vial.resting_at = None
+
+    def vial_inside_device(self, device_name: str) -> Optional[Vial]:
+        """The vial resting at any interior location of *device_name*."""
+        for loc in self.locations.interiors_of(device_name):
+            occupant = self._occupancy.get(loc.name)
+            if occupant is not None:
+                return self.vial(occupant)
+        return None
+
+    # -- robot containment ---------------------------------------------------------
+
+    def robot_entered(
+        self, robot: str, device: str, via_door: Optional[str] = None
+    ) -> None:
+        """Record that *robot*'s gripper is inside *device* (optionally
+        noting which named door it entered through — multi-door devices)."""
+        self._robot_inside[robot] = device
+        self._robot_entry_door[robot] = via_door
+
+    def robot_left(self, robot: str) -> None:
+        """Record that *robot* left whatever device it was inside."""
+        self._robot_inside.pop(robot, None)
+        self._robot_entry_door.pop(robot, None)
+
+    def robot_inside(self, robot: str) -> Optional[str]:
+        """Device the robot is currently inside, if any."""
+        return self._robot_inside.get(robot)
+
+    def robot_entry_door(self, robot: str) -> Optional[str]:
+        """Named door the robot entered through, if recorded."""
+        return self._robot_entry_door.get(robot)
+
+    def robots_inside(self, device: str) -> Tuple[str, ...]:
+        """All robots currently inside *device*."""
+        return tuple(r for r, d in self._robot_inside.items() if d == device)
+
+    # -- damage -----------------------------------------------------------------------
+
+    def record_damage(self, event: DamageEvent) -> None:
+        """Append a damage event to the incident log."""
+        self._damage.append(event)
+
+    @property
+    def damage_log(self) -> Tuple[DamageEvent, ...]:
+        """All damage events so far, in order of occurrence."""
+        return tuple(self._damage)
+
+    def worst_damage(self) -> Optional[DamageEvent]:
+        """The most severe damage event so far, if any."""
+        if not self._damage:
+            return None
+        return max(self._damage, key=lambda e: e.severity.rank)
+
+    def clear_damage(self) -> None:
+        """Reset the incident log (scenario teardown)."""
+        self._damage.clear()

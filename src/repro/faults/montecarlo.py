@@ -1,0 +1,202 @@
+"""Monte Carlo bug injection — the study the paper says it could not run.
+
+§IV: "without exhaustive testing (which requires generating large bug
+datasets — a challenging task in itself), we do not know if these numbers
+are representative of what we might see in practice."
+
+On a simulated deck the large bug dataset is cheap: this module samples
+random single-edit mutations of the safe Fig. 5 workflow — the same three
+edit kinds the naive programmer used (delete a command, reorder commands,
+perturb an argument/coordinate) — runs each mutant end to end, and scores
+RABIT against *ground truth*:
+
+- a mutant is **harmful** when the unmonitored world records damage (or a
+  device fault halts it);
+- RABIT's verdict is **detected** when the monitored run stops on an alert.
+
+The confusion matrix gives an estimated detection rate over a much larger
+sample than 16 hand-made bugs, plus the empirical false-alarm rate on
+*benign* mutants (mutations that change nothing safety-relevant), which
+the paper's zero-false-positive claim predicts to be zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.interceptor import instrument
+from repro.core.monitor import RabitOptions
+from repro.faults.mutation import DeleteLine, Mutation, MutateLocation, SwapLines
+from repro.lab.workflows import build_testbed_workflow, run_workflow
+from repro.testbed.deck import build_testbed_deck, make_testbed_rabit
+
+#: Script lines that must not be sampled for deletion/reordering because
+#: removing them only truncates the tail (no safety semantics) — keeps the
+#: mutant population focused on meaningful edits.
+_STRUCTURAL_TAIL = {"ned2_sleep"}
+
+#: Locations whose coordinates the perturbation operator may edit, with
+#: the frame they are expressed in.
+_PERTURBABLE_LOCATIONS: Tuple[Tuple[str, str], ...] = (
+    ("grid_nw_viperx", "viperx"),
+    ("grid_nw_viperx_safe", "viperx"),
+    ("dosing_approach_viperx", "viperx"),
+    ("dosing_safe_viperx", "viperx"),
+    ("dosing_pickup_viperx", "viperx"),
+    ("grid_ne_ned2", "ned2"),
+    ("grid_ne_ned2_safe", "ned2"),
+)
+
+
+@dataclass(frozen=True)
+class MutantOutcome:
+    """Ground truth vs. RABIT verdict for one sampled mutant."""
+
+    seed: int
+    description: str
+    harmful: bool  # unmonitored ground truth recorded damage / fault
+    detected: bool  # monitored run stopped on a RABIT alert
+    damage_kinds: Tuple[str, ...]
+
+    @property
+    def classification(self) -> str:
+        """Confusion-matrix cell for this mutant."""
+        if self.harmful and self.detected:
+            return "true_positive"
+        if self.harmful and not self.detected:
+            return "false_negative"
+        if not self.harmful and self.detected:
+            return "false_positive"
+        return "true_negative"
+
+
+@dataclass
+class MonteCarloReport:
+    """Aggregate of a mutant sweep."""
+
+    outcomes: List[MutantOutcome] = field(default_factory=list)
+
+    def count(self, cell: str) -> int:
+        """Mutants in one confusion-matrix cell."""
+        return sum(1 for o in self.outcomes if o.classification == cell)
+
+    @property
+    def harmful_total(self) -> int:
+        """Mutants whose unmonitored run caused damage."""
+        return sum(1 for o in self.outcomes if o.harmful)
+
+    @property
+    def detection_rate(self) -> float:
+        """Detected fraction of harmful mutants."""
+        if self.harmful_total == 0:
+            return 0.0
+        return self.count("true_positive") / self.harmful_total
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """Alert fraction of benign mutants (paper's claim: 0)."""
+        benign = len(self.outcomes) - self.harmful_total
+        if benign == 0:
+            return 0.0
+        return self.count("false_positive") / benign
+
+
+def _sample_mutation(rng: np.random.Generator, line_ids: Sequence[str]):
+    """Sample one naive-programmer edit; returns (description, factory).
+
+    The factory builds the Mutation fresh per run (mutations are
+    stateless, but descriptions capture the sampled parameters)."""
+    kind = rng.choice(["delete", "swap", "perturb"])
+    if kind == "delete":
+        target = str(rng.choice(line_ids))
+        return f"delete {target}", lambda proxies: [DeleteLine(target)]
+    if kind == "swap":
+        index = int(rng.integers(0, len(line_ids) - 1))
+        first, second = line_ids[index], line_ids[index + 1]
+        return f"swap {first} <-> {second}", lambda proxies: [
+            SwapLines(first, second)
+        ]
+    location, frame = _PERTURBABLE_LOCATIONS[
+        int(rng.integers(0, len(_PERTURBABLE_LOCATIONS)))
+    ]
+    axis = int(rng.integers(0, 3))
+    delta = float(rng.choice([-0.08, -0.04, 0.04, 0.08]))
+
+    def factory(proxies, location=location, frame=frame, axis=axis, delta=delta):
+        from repro.testbed.deck import LOCATIONS
+
+        base = list(LOCATIONS[location][2][frame])
+        base[axis] += delta
+        return [MutateLocation(location, frame, tuple(base))]
+
+    return f"perturb {location}.{'xyz'[axis]} by {delta:+.2f}", factory
+
+
+def _run_mutant(mutation_factory, monitored: bool) -> Tuple[bool, Tuple[str, ...]]:
+    """Run one mutant; returns (stopped_by_rabit, damage kinds)."""
+    deck = build_testbed_deck(noise_sigma=0.003)
+    if monitored:
+        rabit, proxies, _ = make_testbed_rabit(deck, options=RabitOptions.modified())
+    else:
+        proxies, _ = instrument(deck.devices, rabit=None)
+    lines = build_testbed_workflow(proxies)
+    from repro.faults.mutation import apply_mutations
+
+    lines = apply_mutations(lines, deck.world, mutation_factory(proxies))
+    result = run_workflow(lines)
+    damage = tuple(sorted({d.kind for d in deck.world.damage_log}))
+    stopped = result.stopped_by_rabit if monitored else False
+    # An unmonitored run halted by a device fault (Ned2 raising) is
+    # counted as harmful: the experiment broke mid-flight.
+    if not monitored and result.stopped_by_device:
+        damage = damage + ("device_fault_halt",)
+    return stopped, damage
+
+
+def run_monte_carlo(samples: int = 40, seed: int = 2024) -> MonteCarloReport:
+    """Sample *samples* mutants; score each against ground truth.
+
+    Each mutant runs twice: once unmonitored (ground truth — is the edit
+    actually harmful?) and once under modified RABIT (the verdict).
+    Deterministic under *seed*.
+    """
+    rng = np.random.default_rng(seed)
+    # Sample line ids once from a reference workflow build.
+    deck = build_testbed_deck()
+    proxies, _ = instrument(deck.devices, rabit=None)
+    line_ids = [
+        line.line_id
+        for line in build_testbed_workflow(proxies)
+        if line.line_id not in _STRUCTURAL_TAIL
+    ]
+
+    report = MonteCarloReport()
+    for index in range(samples):
+        description, factory = _sample_mutation(rng, line_ids)
+        try:
+            _, truth_damage = _run_mutant(factory, monitored=False)
+            detected, _ = _run_mutant(factory, monitored=True)
+        except Exception as exc:  # noqa: BLE001 - classify, don't crash the sweep
+            report.outcomes.append(
+                MutantOutcome(
+                    seed=index,
+                    description=f"{description} (errored: {type(exc).__name__})",
+                    harmful=True,
+                    detected=False,
+                    damage_kinds=("harness_error",),
+                )
+            )
+            continue
+        report.outcomes.append(
+            MutantOutcome(
+                seed=index,
+                description=description,
+                harmful=bool(truth_damage),
+                detected=detected,
+                damage_kinds=truth_damage,
+            )
+        )
+    return report

@@ -1,0 +1,78 @@
+"""Geometric primitives used throughout the RABIT reproduction.
+
+This package is the lowest layer of the stack.  It provides:
+
+- :mod:`repro.geometry.vec` -- small 3D vector helpers on top of numpy.
+- :mod:`repro.geometry.transforms` -- homogeneous transforms and named
+  coordinate frames (each robot arm keeps its own frame, as in the paper).
+- :mod:`repro.geometry.shapes` -- axis-aligned cuboids, the shape the paper's
+  Extended Simulator uses to model every automation device ("we model each
+  device on the experiment deck as a 3D cuboid object").
+- :mod:`repro.geometry.collision` -- point/segment/box intersection tests used
+  by both the target-location precondition check and the full trajectory
+  sweep of the Extended Simulator.
+- :mod:`repro.geometry.walls` -- software-defined walls used for space
+  multiplexing of multiple robot arms.
+"""
+
+from repro.geometry.vec import Vec3, as_vec3, norm, distance, lerp
+from repro.geometry.transforms import (
+    Transform,
+    FrameRegistry,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+    translation,
+    identity,
+    estimate_rigid_transform,
+)
+from repro.geometry.shapes import Cuboid, bounding_cuboid
+from repro.geometry.richshapes import (
+    CompositeShape,
+    Hemisphere,
+    Shape,
+    VerticalCylinder,
+    shape_from_spec,
+)
+from repro.geometry.collision import (
+    point_in_cuboid,
+    segment_intersects_cuboid,
+    cuboids_overlap,
+    segment_cuboid_entry_time,
+    polyline_intersects_cuboid,
+    CollisionHit,
+    first_collision,
+)
+from repro.geometry.walls import SoftwareWall, Workspace
+
+__all__ = [
+    "Vec3",
+    "as_vec3",
+    "norm",
+    "distance",
+    "lerp",
+    "Transform",
+    "FrameRegistry",
+    "rotation_x",
+    "rotation_y",
+    "rotation_z",
+    "translation",
+    "identity",
+    "estimate_rigid_transform",
+    "Cuboid",
+    "bounding_cuboid",
+    "CompositeShape",
+    "Hemisphere",
+    "Shape",
+    "VerticalCylinder",
+    "shape_from_spec",
+    "point_in_cuboid",
+    "segment_intersects_cuboid",
+    "cuboids_overlap",
+    "segment_cuboid_entry_time",
+    "polyline_intersects_cuboid",
+    "CollisionHit",
+    "first_collision",
+    "SoftwareWall",
+    "Workspace",
+]

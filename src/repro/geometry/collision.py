@@ -1,0 +1,140 @@
+"""Collision queries between trajectories and device cuboids.
+
+Two levels of fidelity mirror the paper:
+
+- *Without* the Extended Simulator, RABIT "only the target location is
+  checked for potential collisions" — that is :func:`point_in_cuboid`
+  against every device.
+- *With* the Extended Simulator, the full polled trajectory is swept against
+  every cuboid — :func:`polyline_intersects_cuboid` / :func:`first_collision`
+  using the slab method for segment/AABB intersection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.shapes import Cuboid
+from repro.geometry.vec import Vec3, as_vec3
+
+
+def point_in_cuboid(point: Sequence[float], cuboid: Cuboid, tol: float = 0.0) -> bool:
+    """Whether *point* lies inside *cuboid* (within *tol*)."""
+    return cuboid.contains(point, tol=tol)
+
+
+def cuboids_overlap(a: Cuboid, b: Cuboid) -> bool:
+    """Whether two cuboids intersect (shared boundary counts as overlap)."""
+    return bool(np.all(a.lo <= b.hi) and np.all(b.lo <= a.hi))
+
+
+def segment_cuboid_entry_time(
+    start: Sequence[float], end: Sequence[float], cuboid: Cuboid
+) -> Optional[float]:
+    """Parameter ``t in [0, 1]`` at which segment *start*→*end* enters *cuboid*.
+
+    Returns ``None`` if the segment misses the cuboid.  Uses the slab method:
+    intersect the parametric line with each axis-aligned slab and keep the
+    overlap of the three parameter intervals.
+    """
+    p0 = as_vec3(start)
+    p1 = as_vec3(end)
+    d = p1 - p0
+
+    t_enter = 0.0
+    t_exit = 1.0
+    for axis in range(3):
+        lo, hi = cuboid.lo[axis], cuboid.hi[axis]
+        if abs(d[axis]) < 1e-15:
+            # Segment parallel to this slab: must already be inside it.
+            if p0[axis] < lo or p0[axis] > hi:
+                return None
+            continue
+        t0 = (lo - p0[axis]) / d[axis]
+        t1 = (hi - p0[axis]) / d[axis]
+        if t0 > t1:
+            t0, t1 = t1, t0
+        t_enter = max(t_enter, t0)
+        t_exit = min(t_exit, t1)
+        if t_enter > t_exit:
+            return None
+    return t_enter
+
+
+def segment_intersects_cuboid(
+    start: Sequence[float], end: Sequence[float], cuboid: Cuboid, margin: float = 0.0
+) -> bool:
+    """Whether segment *start*→*end* passes within *margin* of *cuboid*.
+
+    The margin models the sweep radius of the moving body (gripper width,
+    held vial, link thickness): sweeping a sphere of radius ``margin`` along
+    the segment is approximated by testing the raw segment against the
+    cuboid inflated by ``margin``.
+    """
+    box = cuboid.inflated(margin) if margin > 0 else cuboid
+    return segment_cuboid_entry_time(start, end, box) is not None
+
+
+@dataclass(frozen=True)
+class CollisionHit:
+    """A collision found while sweeping a trajectory.
+
+    ``obstacle`` names the cuboid hit; ``point`` is the first contact point
+    along the sweep; ``waypoint_index`` is the index of the trajectory
+    segment on which contact occurred; ``t`` is the within-segment parameter.
+    """
+
+    obstacle: str
+    point: Tuple[float, float, float]
+    waypoint_index: int
+    t: float
+
+    def __str__(self) -> str:
+        x, y, z = self.point
+        return (
+            f"collision with {self.obstacle!r} at "
+            f"({x:.3f}, {y:.3f}, {z:.3f}) on segment {self.waypoint_index}"
+        )
+
+
+def polyline_intersects_cuboid(
+    waypoints: Sequence[Sequence[float]], cuboid: Cuboid, margin: float = 0.0
+) -> Optional[CollisionHit]:
+    """First intersection of the polyline *waypoints* with *cuboid*, if any."""
+    box = cuboid.inflated(margin) if margin > 0 else cuboid
+    pts = [as_vec3(w) for w in waypoints]
+    for i in range(len(pts) - 1):
+        t = segment_cuboid_entry_time(pts[i], pts[i + 1], box)
+        if t is not None:
+            contact: Vec3 = pts[i] + (pts[i + 1] - pts[i]) * t
+            return CollisionHit(
+                obstacle=cuboid.name,
+                point=(float(contact[0]), float(contact[1]), float(contact[2])),
+                waypoint_index=i,
+                t=float(t),
+            )
+    return None
+
+
+def first_collision(
+    waypoints: Sequence[Sequence[float]],
+    obstacles: Iterable[Cuboid],
+    margin: float = 0.0,
+) -> Optional[CollisionHit]:
+    """Earliest collision of a polyline sweep against a set of cuboids.
+
+    "Earliest" is ordered by (segment index, within-segment parameter), i.e.
+    the first contact the physical arm would make while executing the
+    trajectory.  Returns ``None`` when the sweep is collision-free.
+    """
+    best: Optional[CollisionHit] = None
+    for cuboid in obstacles:
+        hit = polyline_intersects_cuboid(waypoints, cuboid, margin=margin)
+        if hit is None:
+            continue
+        if best is None or (hit.waypoint_index, hit.t) < (best.waypoint_index, best.t):
+            best = hit
+    return best

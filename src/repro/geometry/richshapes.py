@@ -1,0 +1,151 @@
+"""Non-cuboid device shapes — the §V-C extension.
+
+Participant P "mentioned that the complexity of device shapes posed a
+challenge, as the shape of many devices do not comply with RABIT's cuboid
+specification.  For example, a centrifuge resembles a hemisphere more
+than a cuboid and the thermoshaker has a bump at the top.  They suggested
+that incorporating more detailed shape descriptions would enhance
+RABIT's flexibility."
+
+This module adds those shape descriptions.  Every shape implements the
+same two-method surface RABIT's probes use — ``contains(point, tol)`` and
+``name`` — so they drop into the obstacle model wherever a
+:class:`~repro.geometry.shapes.Cuboid` is accepted.  A refined shape is
+*tighter* than the bounding cuboid it replaces, freeing workspace that
+the conservative cuboid needlessly kept out (measured by the shape
+ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.geometry.shapes import Cuboid
+from repro.geometry.vec import as_vec3
+
+
+@dataclass(frozen=True)
+class Hemisphere:
+    """A dome: flat base at ``center``'s z, bulging upward by ``radius``."""
+
+    center: Tuple[float, float, float]
+    radius: float
+    name: str = "hemisphere"
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError(f"hemisphere {self.name!r} needs a positive radius")
+        c = as_vec3(self.center)
+        object.__setattr__(self, "center", tuple(float(x) for x in c))
+
+    def contains(self, point: Sequence[float], tol: float = 0.0) -> bool:
+        """Inside the dome: above the base plane, within the radius."""
+        p = as_vec3(point)
+        c = as_vec3(self.center)
+        if p[2] < c[2] - tol:
+            return False
+        return float(np.linalg.norm(p - c)) <= self.radius + tol
+
+    def bounding_cuboid(self) -> Cuboid:
+        """The tightest axis-aligned cuboid around the dome."""
+        c = as_vec3(self.center)
+        r = self.radius
+        return Cuboid(
+            (c[0] - r, c[1] - r, c[2]), (c[0] + r, c[1] + r, c[2] + r), name=self.name
+        )
+
+
+@dataclass(frozen=True)
+class VerticalCylinder:
+    """An upright cylinder (drum bodies, rotors, vial wells)."""
+
+    center_xy: Tuple[float, float]
+    z_range: Tuple[float, float]
+    radius: float
+    name: str = "cylinder"
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError(f"cylinder {self.name!r} needs a positive radius")
+        z0, z1 = self.z_range
+        if z0 > z1:
+            raise ValueError(f"cylinder {self.name!r} has inverted z range")
+        object.__setattr__(self, "center_xy", tuple(float(x) for x in self.center_xy))
+        object.__setattr__(self, "z_range", (float(z0), float(z1)))
+
+    def contains(self, point: Sequence[float], tol: float = 0.0) -> bool:
+        """Inside the drum: between the caps, within the radius."""
+        p = as_vec3(point)
+        z0, z1 = self.z_range
+        if not (z0 - tol <= p[2] <= z1 + tol):
+            return False
+        dx = p[0] - self.center_xy[0]
+        dy = p[1] - self.center_xy[1]
+        return float(np.hypot(dx, dy)) <= self.radius + tol
+
+    def bounding_cuboid(self) -> Cuboid:
+        """The tightest axis-aligned cuboid around the drum."""
+        x, y = self.center_xy
+        z0, z1 = self.z_range
+        r = self.radius
+        return Cuboid((x - r, y - r, z0), (x + r, y + r, z1), name=self.name)
+
+
+@dataclass(frozen=True)
+class CompositeShape:
+    """A union of parts (e.g. a cuboid body with a bump on top)."""
+
+    parts: Tuple[object, ...]
+    name: str = "composite"
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ValueError(f"composite {self.name!r} needs at least one part")
+
+    def contains(self, point: Sequence[float], tol: float = 0.0) -> bool:
+        """Inside any part."""
+        return any(part.contains(point, tol) for part in self.parts)
+
+    def bounding_cuboid(self) -> Cuboid:
+        """The tightest cuboid around every part's own bounding cuboid."""
+        boxes = [
+            part if isinstance(part, Cuboid) else part.bounding_cuboid()
+            for part in self.parts
+        ]
+        lo = np.min([b.lo for b in boxes], axis=0)
+        hi = np.max([b.hi for b in boxes], axis=0)
+        return Cuboid(tuple(lo), tuple(hi), name=self.name)
+
+
+#: Anything RABIT's point probes accept.
+Shape = Union[Cuboid, Hemisphere, VerticalCylinder, CompositeShape]
+
+
+def shape_from_spec(spec: dict, name: str) -> Shape:
+    """Build a shape from a configuration entry.
+
+    Cuboids keep the original ``{"min": ..., "max": ...}`` form; refined
+    shapes use ``{"type": "hemisphere"|"cylinder"|"composite", ...}``.
+    """
+    shape_type = spec.get("type", "cuboid")
+    if shape_type == "cuboid" or ("min" in spec and "max" in spec):
+        return Cuboid(tuple(spec["min"]), tuple(spec["max"]), name=name)
+    if shape_type == "hemisphere":
+        return Hemisphere(tuple(spec["center"]), float(spec["radius"]), name=name)
+    if shape_type == "cylinder":
+        return VerticalCylinder(
+            tuple(spec["center_xy"]),
+            tuple(spec["z_range"]),
+            float(spec["radius"]),
+            name=name,
+        )
+    if shape_type == "composite":
+        parts = tuple(
+            shape_from_spec(part, name=f"{name}[{i}]")
+            for i, part in enumerate(spec["parts"])
+        )
+        return CompositeShape(parts, name=name)
+    raise ValueError(f"unknown shape type {shape_type!r} for obstacle {name!r}")

@@ -1,0 +1,57 @@
+"""Small 3D vector helpers.
+
+All geometry in the reproduction is expressed in metres, matching the
+coordinate tables in the paper (e.g. Fig. 6's ``"pickup": [0.15, 0.45, 0.10]``
+is 15 cm / 45 cm / 10 cm in the robot arm's own frame).
+
+Vectors are plain ``numpy.ndarray`` objects of shape ``(3,)`` and dtype
+``float64``; :func:`as_vec3` is the single conversion point so that lists,
+tuples, and arrays are all accepted by higher layers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+#: Type alias accepted anywhere a 3D point is expected.
+Vec3 = np.ndarray
+
+VecLike = Union[Sequence[float], np.ndarray]
+
+
+def as_vec3(value: VecLike) -> Vec3:
+    """Convert *value* to a float64 numpy array of shape ``(3,)``.
+
+    Raises :class:`ValueError` if the input does not have exactly three
+    components.  This is the error the configuration validator surfaces when
+    a location entry in a JSON file has the wrong arity (one of the pilot
+    study's observed data-entry mistakes).
+    """
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.shape != (3,):
+        raise ValueError(f"expected a 3D point, got shape {arr.shape}: {value!r}")
+    return arr
+
+
+def norm(v: VecLike) -> float:
+    """Euclidean length of *v*."""
+    return float(np.linalg.norm(as_vec3(v)))
+
+
+def distance(a: VecLike, b: VecLike) -> float:
+    """Euclidean distance between points *a* and *b*."""
+    return float(np.linalg.norm(as_vec3(a) - as_vec3(b)))
+
+
+def lerp(a: VecLike, b: VecLike, t: float) -> Vec3:
+    """Linear interpolation between *a* (``t=0``) and *b* (``t=1``)."""
+    av, bv = as_vec3(a), as_vec3(b)
+    return av + (bv - av) * float(t)
+
+
+def midpoints(a: VecLike, b: VecLike, count: int) -> Iterable[Vec3]:
+    """Yield *count* evenly spaced points strictly between *a* and *b*."""
+    for i in range(1, count + 1):
+        yield lerp(a, b, i / (count + 1))

@@ -1,0 +1,101 @@
+"""Software-defined walls and workspaces for space multiplexing.
+
+For space multiplexing the paper adds "a software-defined wall between the
+two robot arms in their environments, providing each robot with its own
+dedicated space in which it can move, while allowing to let them move
+concurrently".  A :class:`SoftwareWall` is a half-space constraint; a
+:class:`Workspace` combines an outer bounding cuboid (the physical room:
+walls, floor, ceiling) with any number of software walls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.shapes import Cuboid
+from repro.geometry.vec import Vec3, as_vec3
+
+
+@dataclass(frozen=True)
+class SoftwareWall:
+    """A planar half-space constraint: allowed points satisfy ``n·p <= offset``.
+
+    ``normal`` need not be unit length; it is normalized on construction.
+    ``name`` appears in violation messages, e.g. ``"viperx_ned2_divider"``.
+    """
+
+    normal: Tuple[float, float, float]
+    offset: float
+    name: str = "wall"
+
+    def __post_init__(self) -> None:
+        n = as_vec3(self.normal)
+        length = float(np.linalg.norm(n))
+        if length < 1e-12:
+            raise ValueError("wall normal must be nonzero")
+        object.__setattr__(self, "normal", tuple(float(x) for x in n / length))
+        object.__setattr__(self, "offset", float(self.offset) / length)
+
+    def allows(self, point: Sequence[float], tol: float = 1e-9) -> bool:
+        """Whether *point* is on the permitted side of the wall."""
+        return float(np.dot(as_vec3(self.normal), as_vec3(point))) <= self.offset + tol
+
+    def signed_distance(self, point: Sequence[float]) -> float:
+        """Signed distance to the wall plane (negative = allowed side)."""
+        return float(np.dot(as_vec3(self.normal), as_vec3(point))) - self.offset
+
+    def flipped(self, name: Optional[str] = None) -> "SoftwareWall":
+        """The complementary half-space (the other robot's side)."""
+        n = as_vec3(self.normal)
+        return SoftwareWall(tuple(-n), -self.offset, name=name or self.name)
+
+
+@dataclass
+class Workspace:
+    """The region a robot arm is permitted to occupy.
+
+    ``bounds`` models the physical room (mount platform, walls, ceiling);
+    leaving it means hitting a wall or the ground, which is how the
+    reproduction models the paper's "bumping into walls or the ground"
+    checks.  ``walls`` are software-defined partitions added by space
+    multiplexing.
+    """
+
+    bounds: Cuboid
+    walls: List[SoftwareWall] = field(default_factory=list)
+
+    def add_wall(self, wall: SoftwareWall) -> None:
+        """Add a software-defined wall constraint."""
+        self.walls.append(wall)
+
+    def allows(self, point: Sequence[float]) -> bool:
+        """Whether *point* is inside the room and on the right side of all walls."""
+        return self.bounds.contains(point) and all(w.allows(point) for w in self.walls)
+
+    def violation(self, point: Sequence[float]) -> Optional[str]:
+        """Human-readable description of why *point* is disallowed, or ``None``."""
+        if not self.bounds.contains(point):
+            p = as_vec3(point)
+            axes = "xyz"
+            for i in range(3):
+                if p[i] < self.bounds.lo[i]:
+                    side = "ground" if i == 2 else f"{axes[i]}-min wall"
+                    return f"point leaves workspace through the {side}"
+                if p[i] > self.bounds.hi[i]:
+                    side = "ceiling" if i == 2 else f"{axes[i]}-max wall"
+                    return f"point leaves workspace through the {side}"
+        for wall in self.walls:
+            if not wall.allows(point):
+                return f"point crosses software wall {wall.name!r}"
+        return None
+
+    def polyline_violation(self, waypoints: Sequence[Sequence[float]]) -> Optional[str]:
+        """First violation along a polyline of *waypoints*, or ``None``."""
+        for w in waypoints:
+            reason = self.violation(w)
+            if reason is not None:
+                return reason
+        return None

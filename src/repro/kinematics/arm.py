@@ -1,0 +1,232 @@
+"""The :class:`ArmKinematics` facade used by the device layer.
+
+It binds an :class:`~repro.kinematics.profiles.ArmProfile` to a mounting
+pose, tracks the current joint posture, and plans Cartesian moves.  Vendor
+failure modes are reproduced here:
+
+- ViperX (``SILENT_SKIP``): an unreachable target yields a plan marked
+  ``skipped`` — the arm stays where it is and *no error is raised*, exactly
+  the behaviour §IV calls "potentially unsafe".
+- Ned2 / UR arms (``RAISE``): an unreachable target raises
+  :class:`UnreachableTargetError` immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.shapes import Cuboid, bounding_cuboid
+from repro.geometry.transforms import Transform
+from repro.geometry.vec import Vec3, as_vec3
+from repro.kinematics.dh import DHChain
+from repro.kinematics.ik import solve_position_ik
+from repro.kinematics.profiles import ArmProfile, UnreachableBehavior
+from repro.kinematics.trajectory import JointTrajectory, plan_joint_trajectory
+
+
+class UnreachableTargetError(Exception):
+    """Raised by arms whose controller halts on an unplannable trajectory."""
+
+    def __init__(self, arm: str, target: Sequence[float], residual: float) -> None:
+        t = as_vec3(target)
+        super().__init__(
+            f"{arm}: cannot compute a trajectory to "
+            f"({t[0]:.3f}, {t[1]:.3f}, {t[2]:.3f}) (residual {residual * 100:.1f} cm)"
+        )
+        self.arm = arm
+        self.target = tuple(float(x) for x in t)
+        self.residual = residual
+
+
+@dataclass(frozen=True)
+class TrajectoryPlan:
+    """Result of planning a Cartesian move.
+
+    ``skipped`` is True only for silent-skip arms given an unreachable
+    target: the trajectory is then a zero-length stay-in-place motion and
+    ``target_reached`` is False.  Callers that ignore ``skipped`` reproduce
+    the unsafe continue-without-moving behaviour the paper observed.
+    """
+
+    trajectory: JointTrajectory
+    target: Tuple[float, float, float]
+    skipped: bool
+    residual: float
+
+    @property
+    def target_reached(self) -> bool:
+        """Whether executing the plan actually arrives at the target."""
+        return not self.skipped
+
+
+class ArmKinematics:
+    """Kinematic state and planning for one mounted six-axis arm."""
+
+    #: Cartesian tolerance for declaring a target reachable (2 mm).
+    REACH_TOLERANCE = 0.002
+
+    def __init__(
+        self,
+        profile: ArmProfile,
+        base: Optional[Transform] = None,
+        ik_seed: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.profile = profile
+        self._chain: DHChain = profile.chain().with_base(base or Transform())
+        self._q: np.ndarray = np.asarray(
+            ik_seed if ik_seed is not None else profile.home_q, dtype=np.float64
+        )
+        if self._q.shape != (profile.dof,):
+            raise ValueError("ik_seed must match the arm's degrees of freedom")
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def chain(self) -> DHChain:
+        """The mounted kinematic chain."""
+        return self._chain
+
+    @property
+    def q(self) -> Tuple[float, ...]:
+        """Current joint posture."""
+        return tuple(self._q)
+
+    def set_posture(self, q: Sequence[float]) -> None:
+        """Teleport the joints to *q* (used by tests and scenario setup)."""
+        arr = np.asarray(q, dtype=np.float64)
+        if arr.shape != (self.profile.dof,):
+            raise ValueError("posture must match the arm's degrees of freedom")
+        self._q = arr.copy()
+
+    def current_position(self) -> Vec3:
+        """Current end-effector position in world coordinates."""
+        return self._chain.end_effector_position(self._q)
+
+    def base_position(self) -> Vec3:
+        """World position of the arm's mounting point."""
+        return self._chain.base.translation
+
+    # -- planning --------------------------------------------------------------
+
+    def _ik_seeds(self) -> List[np.ndarray]:
+        """Deterministic IK restart seeds: current posture first, then
+        canonical postures that cover distinct elbow/waist branches.
+
+        Damped least squares is a local method; restarting from a few
+        well-spread postures makes every point inside the physical workspace
+        solvable, so the SILENT_SKIP/RAISE paths only trigger for genuinely
+        unreachable targets (as on the real controllers).
+        """
+        half_pi = float(np.pi / 2)
+        seeds = [
+            self._q.copy(),
+            np.asarray(self.profile.home_q, dtype=np.float64),
+        ]
+        for waist in (0.0, half_pi, -half_pi, float(np.pi) - 0.2):
+            for shoulder, elbow in ((-0.8, 1.2), (-1.2, 0.6), (-0.4, 1.6)):
+                q = np.zeros(self.profile.dof)
+                q[0], q[1], q[2] = waist, shoulder, elbow
+                if self.profile.dof >= 4:
+                    q[3] = -half_pi
+                seeds.append(self._clamp(q))
+        return seeds
+
+    def _clamp(self, q: np.ndarray) -> np.ndarray:
+        """Clamp a posture to the profile's joint limits."""
+        out = q.copy()
+        for i, (lo, hi) in enumerate(self.profile.joint_limits):
+            out[i] = min(max(out[i], lo), hi)
+        return out
+
+    def plan_move(self, target: Sequence[float], speed: float = 1.0) -> TrajectoryPlan:
+        """Plan a move of the end effector to Cartesian *target*.
+
+        Applies the profile's unreachable-target behaviour; see the module
+        docstring.  A reachable target yields a joint-space trajectory from
+        the current posture to the IK solution.
+        """
+        tgt = as_vec3(target)
+        result = None
+        for seed in self._ik_seeds():
+            candidate = solve_position_ik(
+                self._chain,
+                tgt,
+                q0=seed,
+                joint_limits=self.profile.joint_limits,
+                tolerance=self.REACH_TOLERANCE,
+            )
+            if result is None or candidate.error < result.error:
+                result = candidate
+            if candidate.converged:
+                break
+        assert result is not None
+        if not result.converged:
+            if self.profile.unreachable_behavior is UnreachableBehavior.SILENT_SKIP:
+                stay = plan_joint_trajectory(self._chain, self._q, self._q, speed=speed)
+                return TrajectoryPlan(
+                    trajectory=stay,
+                    target=tuple(float(x) for x in tgt),
+                    skipped=True,
+                    residual=result.error,
+                )
+            raise UnreachableTargetError(self.profile.name, tgt, result.error)
+
+        trajectory = plan_joint_trajectory(self._chain, self._q, result.q, speed=speed)
+        return TrajectoryPlan(
+            trajectory=trajectory,
+            target=tuple(float(x) for x in tgt),
+            skipped=False,
+            residual=result.error,
+        )
+
+    def plan_posture(self, q_end: Sequence[float], speed: float = 1.0) -> TrajectoryPlan:
+        """Plan a move to an explicit joint posture (home/sleep poses)."""
+        trajectory = plan_joint_trajectory(self._chain, self._q, q_end, speed=speed)
+        end_position = self._chain.end_effector_position(q_end)
+        return TrajectoryPlan(
+            trajectory=trajectory,
+            target=tuple(float(x) for x in end_position),
+            skipped=False,
+            residual=0.0,
+        )
+
+    def plan_home(self) -> TrajectoryPlan:
+        """Plan a move to the vendor home posture."""
+        return self.plan_posture(self.profile.home_q)
+
+    def plan_sleep(self) -> TrajectoryPlan:
+        """Plan a move to the vendor sleep posture."""
+        return self.plan_posture(self.profile.sleep_q)
+
+    def execute(self, plan: TrajectoryPlan) -> Vec3:
+        """Commit the plan: advance the joint state to the trajectory's end.
+
+        Returns the resulting end-effector position.  For a skipped plan the
+        posture is unchanged — the silent-skip semantics.
+        """
+        self._q = np.asarray(plan.trajectory.q_end, dtype=np.float64)
+        return self.current_position()
+
+    # -- geometry ----------------------------------------------------------------
+
+    def arm_polyline(self, q: Optional[Sequence[float]] = None) -> List[Vec3]:
+        """Joint-origin polyline of the arm at posture *q* (default: current)."""
+        return self._chain.joint_positions(self._q if q is None else q)
+
+    def footprint_cuboid(self, margin: Optional[float] = None, name: Optional[str] = None) -> Cuboid:
+        """Cuboid bounding the arm at its current posture.
+
+        Time multiplexing models a stationary arm "as 3D cuboid spaces
+        (identically to other devices)" — this is that cuboid, inflated by
+        the link radius (or an explicit *margin*).
+        """
+        pad = self.profile.link_radius if margin is None else margin
+        box = bounding_cuboid(self.arm_polyline(), name=name or self.profile.name)
+        return box.inflated(pad)
+
+    def reach_envelope(self) -> float:
+        """Nominal maximum reach from the base (metres)."""
+        return self.profile.reach

@@ -1,0 +1,98 @@
+"""Position-only inverse kinematics via damped least squares.
+
+The experiment scripts in the paper command arms by Cartesian target
+position (the location tables of Fig. 6 are pure ``[x, y, z]`` triples), so
+we only solve for end-effector *position*; the redundant orientation degrees
+of freedom are absorbed by the damping term.  Damped least squares (the
+Levenberg-Marquardt form of resolved-rate IK) is robust near singularities,
+which matters because the testbed arms are asked to reach deliberately
+awkward targets during fault injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kinematics.dh import DHChain
+
+
+@dataclass(frozen=True)
+class IKResult:
+    """Outcome of an IK solve.
+
+    ``converged`` is False when the target is unreachable (outside the arm's
+    workspace or blocked by joint limits); ``error`` is the remaining
+    Cartesian distance to the target, which callers compare against their
+    tolerance.
+    """
+
+    q: Tuple[float, ...]
+    error: float
+    iterations: int
+    converged: bool
+
+
+def _position_jacobian(chain: DHChain, q: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Numeric 3xN position Jacobian by central differences."""
+    n = chain.dof
+    jac = np.zeros((3, n))
+    for i in range(n):
+        dq = np.zeros(n)
+        dq[i] = eps
+        p_plus = chain.end_effector_position(q + dq)
+        p_minus = chain.end_effector_position(q - dq)
+        jac[:, i] = (p_plus - p_minus) / (2 * eps)
+    return jac
+
+
+def solve_position_ik(
+    chain: DHChain,
+    target: Sequence[float],
+    q0: Sequence[float],
+    joint_limits: Optional[Sequence[Tuple[float, float]]] = None,
+    tolerance: float = 1e-4,
+    max_iterations: int = 200,
+    damping: float = 0.05,
+) -> IKResult:
+    """Solve for joint angles placing the end effector at *target*.
+
+    Iterates ``q += J^T (J J^T + λ²I)^{-1} e`` from the seed posture *q0*,
+    clamping to *joint_limits* after every step.  Convergence means the
+    Cartesian error dropped below *tolerance*.
+    """
+    q = np.asarray(q0, dtype=np.float64).copy()
+    tgt = np.asarray(target, dtype=np.float64)
+    if tgt.shape != (3,):
+        raise ValueError(f"target must be a 3D point, got shape {tgt.shape}")
+
+    lam_sq = damping * damping
+    best_q = q.copy()
+    best_err = float("inf")
+
+    for iteration in range(1, max_iterations + 1):
+        error_vec = tgt - chain.end_effector_position(q)
+        err = float(np.linalg.norm(error_vec))
+        if err < best_err:
+            best_err = err
+            best_q = q.copy()
+        if err < tolerance:
+            return IKResult(tuple(q), err, iteration, converged=True)
+
+        jac = _position_jacobian(chain, q)
+        jjt = jac @ jac.T + lam_sq * np.eye(3)
+        dq = jac.T @ np.linalg.solve(jjt, error_vec)
+
+        # Limit the per-step joint motion so the linearization stays valid.
+        step_norm = float(np.linalg.norm(dq))
+        if step_norm > 0.5:
+            dq *= 0.5 / step_norm
+        q = q + dq
+
+        if joint_limits is not None:
+            for i, (lo, hi) in enumerate(joint_limits):
+                q[i] = min(max(q[i], lo), hi)
+
+    return IKResult(tuple(best_q), best_err, max_iterations, converged=False)

@@ -1,0 +1,224 @@
+"""Arm profiles for the robots used in the paper.
+
+Each :class:`ArmProfile` bundles a DH table, joint limits, canonical
+postures, and — critically for the evaluation — the vendor's behaviour when
+asked to reach an infeasible target:
+
+    "When ViperX was moved to a very high, clearly infeasible, position, it
+    failed to compute the trajectory and **silently ignored the command**.
+    [...] With Ned2, this was not an issue as it **throws an exception and
+    halts immediately** if it cannot compute the trajectory."  (§IV)
+
+DH parameters for the Universal Robots arms follow the vendor-published
+tables; the ViperX-300 and Ned2 tables are close approximations built from
+their published link lengths and reach (0.75 m and 0.44 m respectively).
+Absolute link lengths only need to be realistic enough that reach limits,
+ground collisions, and grid geometry behave like the paper's testbed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Sequence, Tuple
+
+from repro.kinematics.dh import DHChain, DHLink
+
+_PI = math.pi
+
+
+class UnreachableBehavior(Enum):
+    """What the arm's controller does when a target is unreachable."""
+
+    #: Fail to plan and silently skip the command (ViperX).  The paper flags
+    #: this as "potentially unsafe" because later moves assume the skipped
+    #: waypoint was visited.
+    SILENT_SKIP = "silent_skip"
+    #: Raise an exception and halt immediately (Ned2, UR protective stop).
+    RAISE = "raise"
+
+
+@dataclass(frozen=True)
+class ArmProfile:
+    """Static description of a six-axis arm model."""
+
+    name: str
+    vendor: str
+    links: Tuple[DHLink, ...]
+    joint_limits: Tuple[Tuple[float, float], ...]
+    reach: float
+    #: Approximate radius of the arm's links, used as the sweep margin in
+    #: collision checks.
+    link_radius: float
+    #: Length of the gripper beyond the wrist flange.
+    gripper_length: float
+    #: Joint posture for the vendor's "home" pose (arm raised, clear of deck).
+    home_q: Tuple[float, ...]
+    #: Joint posture for the vendor's "sleep" pose (arm folded over its base).
+    sleep_q: Tuple[float, ...]
+    unreachable_behavior: UnreachableBehavior
+    #: 1-sigma repeatability of the arm in metres; production arms are far
+    #: more precise than the educational testbed arms (Table I's "device
+    #: precision and quality" axis).
+    repeatability: float
+
+    def __post_init__(self) -> None:
+        n = len(self.links)
+        if len(self.joint_limits) != n:
+            raise ValueError(f"{self.name}: need {n} joint limit pairs")
+        for attr in ("home_q", "sleep_q"):
+            if len(getattr(self, attr)) != n:
+                raise ValueError(f"{self.name}: {attr} must have {n} entries")
+
+    @property
+    def dof(self) -> int:
+        """Number of joints (six for every arm in the paper)."""
+        return len(self.links)
+
+    def chain(self) -> DHChain:
+        """A fresh kinematic chain for this profile (world-origin base)."""
+        return DHChain(self.links)
+
+
+def _limits(lo_hi: float) -> Tuple[float, float]:
+    return (-lo_hi, lo_hi)
+
+
+UR3E = ArmProfile(
+    name="ur3e",
+    vendor="Universal Robots",
+    links=(
+        DHLink(a=0.0, alpha=_PI / 2, d=0.15185),
+        DHLink(a=-0.24355, alpha=0.0, d=0.0),
+        DHLink(a=-0.2132, alpha=0.0, d=0.0),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.13105),
+        DHLink(a=0.0, alpha=-_PI / 2, d=0.08535),
+        DHLink(a=0.0, alpha=0.0, d=0.0921),
+    ),
+    joint_limits=tuple(_limits(2 * _PI) for _ in range(6)),
+    reach=0.50,
+    link_radius=0.045,
+    gripper_length=0.12,
+    home_q=(0.0, -_PI / 2, 0.0, -_PI / 2, 0.0, 0.0),
+    sleep_q=(0.0, -_PI / 2, _PI / 2 + 0.6, -_PI / 2, 0.0, 0.0),
+    unreachable_behavior=UnreachableBehavior.RAISE,
+    repeatability=0.00003,  # 0.03 mm published repeatability
+)
+
+UR5E = ArmProfile(
+    name="ur5e",
+    vendor="Universal Robots",
+    links=(
+        DHLink(a=0.0, alpha=_PI / 2, d=0.1625),
+        DHLink(a=-0.425, alpha=0.0, d=0.0),
+        DHLink(a=-0.3922, alpha=0.0, d=0.0),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.1333),
+        DHLink(a=0.0, alpha=-_PI / 2, d=0.0997),
+        DHLink(a=0.0, alpha=0.0, d=0.0996),
+    ),
+    joint_limits=tuple(_limits(2 * _PI) for _ in range(6)),
+    reach=0.85,
+    link_radius=0.055,
+    gripper_length=0.13,
+    home_q=(0.0, -_PI / 2, 0.0, -_PI / 2, 0.0, 0.0),
+    sleep_q=(0.0, -_PI / 2, _PI / 2 + 0.6, -_PI / 2, 0.0, 0.0),
+    unreachable_behavior=UnreachableBehavior.RAISE,
+    repeatability=0.00003,
+)
+
+VIPERX_300 = ArmProfile(
+    name="viperx",
+    vendor="Trossen Robotics",
+    links=(
+        DHLink(a=0.0, alpha=_PI / 2, d=0.127),
+        DHLink(a=-0.30, alpha=0.0, d=0.0),
+        DHLink(a=-0.30, alpha=0.0, d=0.0),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.10),
+        DHLink(a=0.0, alpha=-_PI / 2, d=0.066),
+        DHLink(a=0.0, alpha=0.0, d=0.066),
+    ),
+    joint_limits=(
+        _limits(_PI),
+        _limits(2.0),
+        _limits(2.0),
+        _limits(_PI),
+        _limits(2.0),
+        _limits(_PI),
+    ),
+    reach=0.75,
+    link_radius=0.035,
+    gripper_length=0.10,
+    home_q=(0.0, -_PI / 2, 0.0, -_PI / 2, 0.0, 0.0),
+    sleep_q=(0.0, -1.80, 1.55, -_PI / 2, 0.8, 0.0),
+    unreachable_behavior=UnreachableBehavior.SILENT_SKIP,
+    repeatability=0.005,  # educational arm: millimetre-scale, not micron
+)
+
+NED2 = ArmProfile(
+    name="ned2",
+    vendor="Niryo",
+    links=(
+        DHLink(a=0.0, alpha=_PI / 2, d=0.183),
+        DHLink(a=-0.21, alpha=0.0, d=0.0),
+        DHLink(a=-0.18, alpha=0.0, d=0.0),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.0305),
+        DHLink(a=0.0, alpha=-_PI / 2, d=0.0305),
+        DHLink(a=0.0, alpha=0.0, d=0.0237),
+    ),
+    joint_limits=(
+        (-2.96, 2.96),
+        _limits(2.0),
+        _limits(2.0),
+        (-2.09, 2.09),
+        (-1.92, 1.92),
+        (-2.53, 2.53),
+    ),
+    reach=0.44,
+    link_radius=0.030,
+    gripper_length=0.08,
+    home_q=(0.0, -_PI / 2, 0.0, -_PI / 2, 0.0, 0.0),
+    sleep_q=(0.0, -1.55, 1.40, -_PI / 2, 0.0, 0.0),
+    unreachable_behavior=UnreachableBehavior.RAISE,
+    repeatability=0.004,
+)
+
+N9 = ArmProfile(
+    name="n9",
+    vendor="North Robotics",
+    links=(
+        # SCARA topology: two planar revolute links, a prismatic z-lift
+        # (alpha = pi on link 2 points the lift downward), and a wrist.
+        DHLink(a=0.17, alpha=0.0, d=0.30),
+        DHLink(a=0.15, alpha=_PI, d=0.0),
+        DHLink(a=0.0, alpha=0.0, d=0.02, prismatic=True),
+        DHLink(a=0.0, alpha=0.0, d=0.04),
+    ),
+    joint_limits=(
+        _limits(_PI),
+        (-2.4, 2.4),
+        (0.0, 0.22),  # metres of z-lift extension
+        _limits(_PI),
+    ),
+    reach=0.32,
+    link_radius=0.030,
+    gripper_length=0.05,
+    home_q=(0.0, 0.0, 0.02, 0.0),
+    sleep_q=(_PI / 2, 2.2, 0.0, 0.0),
+    unreachable_behavior=UnreachableBehavior.RAISE,
+    repeatability=0.0002,
+)
+
+_PROFILES: Dict[str, ArmProfile] = {
+    p.name: p for p in (UR3E, UR5E, VIPERX_300, NED2, N9)
+}
+
+
+def profile_by_name(name: str) -> ArmProfile:
+    """Look up an arm profile by name (``ur3e``, ``ur5e``, ``viperx``, ``ned2``)."""
+    try:
+        return _PROFILES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown arm profile {name!r}; available: {sorted(_PROFILES)}"
+        ) from None

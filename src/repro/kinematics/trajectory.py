@@ -1,0 +1,90 @@
+"""Joint-space trajectories and their sampled Cartesian sweeps.
+
+The Extended Simulator works "by continuously polling the robot arm's
+trajectory and comparing it with the 3D objects' coordinates" (§III).  A
+:class:`JointTrajectory` is the planned motion; :meth:`JointTrajectory.sample`
+is the polling — it produces the sequence of joint vectors the simulator
+inspects, and :meth:`JointTrajectory.end_effector_path` /
+:meth:`JointTrajectory.link_paths` turn those into the Cartesian polylines
+the collision checker sweeps against device cuboids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.vec import Vec3
+from repro.kinematics.dh import DHChain
+
+
+@dataclass(frozen=True)
+class JointTrajectory:
+    """A straight-line joint-space motion between two postures.
+
+    ``duration`` is the nominal execution time in (virtual) seconds, used by
+    the latency experiments; geometry does not depend on it.
+    """
+
+    chain: DHChain
+    q_start: Tuple[float, ...]
+    q_end: Tuple[float, ...]
+    duration: float = 2.0
+
+    def __post_init__(self) -> None:
+        if len(self.q_start) != self.chain.dof or len(self.q_end) != self.chain.dof:
+            raise ValueError("joint vectors must match the chain's degrees of freedom")
+
+    def sample(self, resolution: int = 40) -> List[np.ndarray]:
+        """Joint vectors at *resolution* + 1 evenly spaced instants.
+
+        This plays the role of the Extended Simulator's trajectory polling:
+        each returned vector is one observation of the arm mid-motion.
+        """
+        if resolution < 1:
+            raise ValueError("resolution must be at least 1")
+        q0 = np.asarray(self.q_start, dtype=np.float64)
+        q1 = np.asarray(self.q_end, dtype=np.float64)
+        return [q0 + (q1 - q0) * (i / resolution) for i in range(resolution + 1)]
+
+    def end_effector_path(self, resolution: int = 40) -> List[Vec3]:
+        """Cartesian polyline traced by the end effector."""
+        return [self.chain.end_effector_position(q) for q in self.sample(resolution)]
+
+    def link_paths(self, resolution: int = 40) -> List[List[Vec3]]:
+        """Per-sample full-arm point sets.
+
+        Each element is the list of joint-origin positions (base through end
+        effector) at one polled instant; the simulator checks the segments
+        between consecutive joints against obstacle cuboids.
+        """
+        return [self.chain.joint_positions(q) for q in self.sample(resolution)]
+
+    def max_joint_excursion(self) -> float:
+        """Largest absolute joint-angle change over the motion (radians)."""
+        q0 = np.asarray(self.q_start)
+        q1 = np.asarray(self.q_end)
+        return float(np.max(np.abs(q1 - q0)))
+
+
+def plan_joint_trajectory(
+    chain: DHChain,
+    q_start: Sequence[float],
+    q_end: Sequence[float],
+    speed: float = 1.0,
+) -> JointTrajectory:
+    """Plan a joint-space motion from *q_start* to *q_end*.
+
+    *speed* is the peak joint velocity in rad/s; the duration is the time
+    the slowest joint needs.  A zero-length motion still takes a small fixed
+    settling time, as real controllers do.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    q0 = np.asarray(q_start, dtype=np.float64)
+    q1 = np.asarray(q_end, dtype=np.float64)
+    excursion = float(np.max(np.abs(q1 - q0))) if q0.size else 0.0
+    duration = max(excursion / speed, 0.05)
+    return JointTrajectory(chain, tuple(q0), tuple(q1), duration=duration)

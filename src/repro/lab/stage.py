@@ -1,0 +1,93 @@
+"""The three-stage deployment framework (Table I).
+
+RABIT is exercised in three environments of increasing fidelity and risk:
+
+========================  =========  =======  ==========
+Capability                Simulator  Testbed  Production
+========================  =========  =======  ==========
+Speed of exploration      High       Medium   Low
+Device precision/quality  Low        Medium   High
+Accuracy of results       Low        Medium   High
+Risk of damage            Low        Medium   High
+========================  =========  =======  ==========
+
+:class:`StageProfile` gives each stage *quantitative* parameters that the
+Table I benchmark measures and maps back onto the paper's High/Medium/Low
+bands: how fast commands execute (simulation runs faster than real arms),
+how precise the arms are (repeatability sigma), how accurate measured
+results are, and what a collision costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+
+class Stage(Enum):
+    """The three stages of the RABIT deployment framework."""
+
+    SIMULATOR = "simulator"
+    TESTBED = "testbed"
+    PRODUCTION = "production"
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """Quantitative characteristics of one stage.
+
+    - ``time_scale``: virtual seconds of wall time per nominal command
+      second (the simulator replays motions much faster than real time).
+    - ``position_noise_sigma``: 1-sigma actuation/reporting noise (m).
+    - ``result_accuracy``: fraction of a measured quantity (e.g. measured
+      solubility) that survives the stage's fidelity limits.
+    - ``damage_cost``: relative cost of an undetected collision (arbitrary
+      units; cardboard mockups are cheap, production equipment is not).
+    """
+
+    stage: Stage
+    time_scale: float
+    position_noise_sigma: float
+    result_accuracy: float
+    damage_cost: float
+
+    def band(self, axis: str) -> str:
+        """Map a quantitative axis onto the paper's High/Medium/Low bands."""
+        ordering = {
+            # capability -> stage order from Low to High, per Table I.
+            "speed": [Stage.PRODUCTION, Stage.TESTBED, Stage.SIMULATOR],
+            "precision": [Stage.SIMULATOR, Stage.TESTBED, Stage.PRODUCTION],
+            "accuracy": [Stage.SIMULATOR, Stage.TESTBED, Stage.PRODUCTION],
+            "risk": [Stage.SIMULATOR, Stage.TESTBED, Stage.PRODUCTION],
+        }
+        try:
+            rank = ordering[axis].index(self.stage)
+        except KeyError:
+            raise KeyError(f"unknown capability axis {axis!r}") from None
+        return ["Low", "Medium", "High"][rank]
+
+
+STAGE_PROFILES: Dict[Stage, StageProfile] = {
+    Stage.SIMULATOR: StageProfile(
+        stage=Stage.SIMULATOR,
+        time_scale=0.01,  # simulated motion replays ~100x real time
+        position_noise_sigma=0.0,  # ideal kinematics, no actuation noise
+        result_accuracy=0.60,  # no real chemistry happens at all
+        damage_cost=0.0,  # nothing physical can break
+    ),
+    Stage.TESTBED: StageProfile(
+        stage=Stage.TESTBED,
+        time_scale=1.0,
+        position_noise_sigma=0.005,  # educational arms, mm-scale
+        result_accuracy=0.85,  # mockups approximate devices
+        damage_cost=1.0,  # cardboard and toy devices
+    ),
+    Stage.PRODUCTION: StageProfile(
+        stage=Stage.PRODUCTION,
+        time_scale=1.0,
+        position_noise_sigma=0.0001,  # UR3e repeatability
+        result_accuracy=1.0,
+        damage_cost=100.0,  # real dosing devices, centrifuges, arms
+    ),
+}

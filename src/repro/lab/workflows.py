@@ -1,0 +1,595 @@
+"""Experiment workflows: Fig. 1(b) and Fig. 5, as mutable scripts.
+
+A workflow is a list of :class:`ScriptLine` objects — one per *script
+statement*, exactly the granularity at which the paper's "naive
+programmer" edited code ("change the arguments of commands, delete
+commands, or change the order of commands").  The fault injector mutates
+these lists; :func:`run_workflow` executes them and reports whether RABIT
+(or a device exception) stopped the run.
+
+Two API styles are reproduced deliberately:
+
+- the **production** solubility workflow drives modeled wrapper commands
+  (``pick_up_vial`` / ``place_vial``), so RABIT's container tracking is
+  reliable;
+- the **testbed** workflow uses Fig. 5's script-level helpers
+  (``viperx_pick_up_object`` et al.), which decompose into raw moves and
+  gripper commands — the configuration RABIT cannot fully track, and the
+  reason several §IV bugs go undetected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import Alert, SafetyViolation
+from repro.core.interceptor import DeviceProxy
+from repro.kinematics.arm import UnreachableTargetError
+
+
+@dataclass
+class ScriptLine:
+    """One statement of an experiment script."""
+
+    line_id: str
+    text: str
+    run: Callable[[], Any]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ScriptLine({self.line_id}: {self.text})"
+
+
+@dataclass
+class WorkflowResult:
+    """Outcome of executing a (possibly mutated) workflow."""
+
+    completed: bool
+    executed_lines: List[str]
+    alert: Optional[Alert] = None
+    device_error: Optional[str] = None
+
+    @property
+    def stopped_by_rabit(self) -> bool:
+        """Whether RABIT halted the run (its detection signal)."""
+        return self.alert is not None
+
+    @property
+    def stopped_by_device(self) -> bool:
+        """Whether a device exception (not RABIT) halted the run."""
+        return self.device_error is not None
+
+
+def run_workflow(lines: List[ScriptLine]) -> WorkflowResult:
+    """Execute script lines until completion, a RABIT stop, or a device
+    exception (the Ned2 behaviour on unplannable trajectories)."""
+    executed: List[str] = []
+    for line in lines:
+        try:
+            line.run()
+        except SafetyViolation as stop:
+            return WorkflowResult(
+                completed=False, executed_lines=executed, alert=stop.alert
+            )
+        except UnreachableTargetError as err:
+            return WorkflowResult(
+                completed=False, executed_lines=executed, device_error=str(err)
+            )
+        executed.append(line.line_id)
+    return WorkflowResult(completed=True, executed_lines=executed)
+
+
+# ---------------------------------------------------------------------------
+# Script-level helpers (the Fig. 5 style: raw moves + gripper commands)
+# ---------------------------------------------------------------------------
+
+
+def pick_up_object(
+    robot: DeviceProxy, safe_location: str, pickup_location: str
+) -> None:
+    """Fig. 5's ``*_pick_up_object`` helper: stage, open, descend, close,
+    retreat.  All constituent commands are individually traced."""
+    robot.move_to_location(safe_location)
+    robot.open_gripper()
+    robot.move_to_location(pickup_location)
+    robot.close_gripper()
+    robot.move_to_location(safe_location)
+
+
+def place_object(
+    robot: DeviceProxy, safe_location: str, place_location: str
+) -> None:
+    """Fig. 5's ``*_place_object`` helper: stage, descend, open, retreat."""
+    robot.move_to_location(safe_location)
+    robot.move_to_location(place_location)
+    robot.open_gripper()
+    robot.move_to_location(safe_location)
+
+
+# ---------------------------------------------------------------------------
+# The Fig. 5 testbed workflow
+# ---------------------------------------------------------------------------
+
+
+def build_testbed_workflow(proxies: Dict[str, DeviceProxy]) -> List[ScriptLine]:
+    """The safe testbed workflow of Fig. 5 (plus a symmetric Ned2 tail).
+
+    Line ids track the figure's annotated lines: ``open_door_after_dose``
+    is Fig. 5 line 23 (omitted by Bug A), ``pick_grid`` is line 15
+    (omitted by Bug C), and so on.
+    """
+    viperx = proxies["viperx"]
+    ned2 = proxies["ned2"]
+    dosing = proxies["dosing_device"]
+    vial = proxies["vial_t1"]
+
+    lines: List[ScriptLine] = []
+
+    def add(line_id: str, text: str, fn: Callable[[], Any]) -> None:
+        lines.append(ScriptLine(line_id, text, fn))
+
+    add(
+        "open_door_initial",
+        'dosing_device.set_door("state", "open")',
+        lambda: dosing.set_door("state", "open"),
+    )
+    add("decap_vial", "vial.decap_vial()", lambda: vial.decap_vial())
+    add("home_1", "viperx.arm.go_to_home_pose()", lambda: viperx.go_to_home_pose())
+    add(
+        "pick_grid",  # Fig. 5 line 15 — omitted by Bug C
+        "viperx_pick_up_object(viperx, viperx_grid, vial)",
+        lambda: pick_up_object(viperx, "grid_nw_viperx_safe", "grid_nw_viperx"),
+    )
+    add(
+        "place_dosing",  # Fig. 5 line 16
+        "viperx_place_object(viperx, viperx_dosing_device, vial)",
+        lambda: _place_into_dosing(viperx),
+    )
+    add("home_2", "viperx.arm.go_to_home_pose()", lambda: viperx.go_to_home_pose())
+    add(
+        "close_door_before_dose",
+        'dosing_device.set_door("state", "closed")',
+        lambda: dosing.set_door("state", "closed"),
+    )
+    add(
+        "run_dosing",
+        "dosing_device.run_action(delay=3, quantity=5)",
+        lambda: dosing.run_action(delay=3, quantity=5),
+    )
+    add(
+        "stop_dosing",
+        "dosing_device.stop_action(delay=0)",
+        lambda: dosing.stop_action(delay=0),
+    )
+    add(
+        "open_door_after_dose",  # Fig. 5 line 23 — omitted by Bug A
+        'dosing_device.set_door("state", "open")',
+        lambda: dosing.set_door("state", "open"),
+    )
+    add(
+        "pick_dosing",  # Fig. 5 line 25
+        "viperx_pick_up_object(viperx, viperx_dosing_device, vial)",
+        lambda: _pick_from_dosing(viperx),
+    )
+    add(
+        "place_grid",  # Fig. 5 line 26
+        "viperx_place_object(viperx, viperx_grid, vial)",
+        lambda: place_object(viperx, "grid_nw_viperx_safe", "grid_nw_viperx"),
+    )
+    add(
+        "close_door_final",
+        'dosing_device.set_door("state", "closed")',
+        lambda: dosing.set_door("state", "closed"),
+    )
+    add("home_3", "viperx.arm.go_to_home_pose()", lambda: viperx.go_to_home_pose())
+    add(
+        "sleep_viperx",
+        "viperx.arm.go_to_sleep_pose()",
+        lambda: viperx.go_to_sleep_pose(),
+    )
+    add(
+        "ned2_pick_grid",  # Fig. 5 line 35
+        "ned2_pick_up_object(ned2, ned2_grid, vial)",
+        lambda: pick_up_object(ned2, "grid_ne_ned2_safe", "grid_ne_ned2"),
+    )
+    add(
+        "ned2_place_grid",
+        "ned2_place_object(ned2, ned2_grid, vial)",
+        lambda: place_object(ned2, "grid_ne_ned2_safe", "grid_ne_ned2"),
+    )
+    add("ned2_sleep", "ned2.go_to_sleep_pose()", lambda: ned2.go_to_sleep_pose())
+    return lines
+
+
+def _place_into_dosing(viperx: DeviceProxy) -> None:
+    """Approach, enter, set the vial down, retreat, leave."""
+    viperx.move_to_location("dosing_approach_viperx")
+    viperx.move_to_location("dosing_safe_viperx")
+    viperx.move_to_location("dosing_pickup_viperx")
+    viperx.open_gripper()
+    viperx.move_to_location("dosing_safe_viperx")
+    viperx.move_to_location("dosing_approach_viperx")
+
+
+def _pick_from_dosing(viperx: DeviceProxy) -> None:
+    """Approach, enter, grasp the vial, retreat, leave."""
+    viperx.move_to_location("dosing_approach_viperx")
+    viperx.move_to_location("dosing_safe_viperx")
+    viperx.move_to_location("dosing_pickup_viperx")
+    viperx.close_gripper()
+    viperx.move_to_location("dosing_safe_viperx")
+    viperx.move_to_location("dosing_approach_viperx")
+
+
+def pick_up_object_reordered(
+    robot: DeviceProxy, safe_location: str, pickup_location: str
+) -> None:
+    """The §IV category-3 function-definition bug: "if commands
+    open_gripper() and close_gripper are reordered" — the jaws close at
+    the staging height and open at the vial, so nothing is grasped and
+    no rule has the information to notice."""
+    robot.move_to_location(safe_location)
+    robot.close_gripper()
+    robot.move_to_location(pickup_location)
+    robot.open_gripper()
+    robot.move_to_location(safe_location)
+
+
+def place_into_dosing_no_exit(viperx: DeviceProxy) -> None:
+    """A buggy place helper that forgets to retreat: the arm is left
+    inside the dosing device when the script closes the door (the Rule 2
+    scenario of the §IV door-interaction category)."""
+    viperx.move_to_location("dosing_approach_viperx")
+    viperx.move_to_location("dosing_safe_viperx")
+    viperx.move_to_location("dosing_pickup_viperx")
+    viperx.open_gripper()
+
+
+def build_centrifuge_workflow(
+    proxies: Dict[str, DeviceProxy], spin_rpm: float = 3000.0
+) -> List[ScriptLine]:
+    """A testbed centrifugation leg: cap the (pre-filled) vial, ferry it
+    into the mock centrifuge, spin, and return it.  Exercises the lid
+    rules (G9/G10), the spin threshold (G11), and the Table IV custom
+    rules at place time."""
+    viperx = proxies["viperx"]
+    centrifuge = proxies["centrifuge"]
+    vial = proxies["vial_t1"]
+
+    lines: List[ScriptLine] = []
+
+    def add(line_id: str, text: str, fn: Callable[[], Any]) -> None:
+        lines.append(ScriptLine(line_id, text, fn))
+
+    add("cap_vial", "vial.cap_vial()", lambda: vial.cap_vial())
+    add("home_1", "viperx.arm.go_to_home_pose()", lambda: viperx.go_to_home_pose())
+    add(
+        "pick_grid",
+        "viperx_pick_up_object(viperx, viperx_grid, vial)",
+        lambda: pick_up_object(viperx, "grid_nw_viperx_safe", "grid_nw_viperx"),
+    )
+    add(
+        "place_centrifuge",
+        "viperx_place_object(viperx, viperx_centrifuge, vial)",
+        lambda: place_object(
+            viperx, "centrifuge_approach_viperx", "centrifuge_slot_viperx"
+        ),
+    )
+    add("home_2", "viperx.arm.go_to_home_pose()", lambda: viperx.go_to_home_pose())
+    add(
+        "close_lid",
+        'centrifuge.set_door("state", "closed")',
+        lambda: centrifuge.set_door("state", "closed"),
+    )
+    add(
+        "spin",
+        f"centrifuge.start_action({spin_rpm:g})",
+        lambda: centrifuge.start_action(spin_rpm),
+    )
+    add("stop_spin", "centrifuge.stop_action()", lambda: centrifuge.stop_action())
+    add(
+        "open_lid",
+        'centrifuge.set_door("state", "open")',
+        lambda: centrifuge.set_door("state", "open"),
+    )
+    add(
+        "pick_centrifuge",
+        "viperx_pick_up_object(viperx, viperx_centrifuge, vial)",
+        lambda: pick_up_object(
+            viperx, "centrifuge_approach_viperx", "centrifuge_slot_viperx"
+        ),
+    )
+    add(
+        "place_grid",
+        "viperx_place_object(viperx, viperx_grid, vial)",
+        lambda: place_object(viperx, "grid_nw_viperx_safe", "grid_nw_viperx"),
+    )
+    add("home_3", "viperx.arm.go_to_home_pose()", lambda: viperx.go_to_home_pose())
+    add(
+        "sleep_viperx",
+        "viperx.arm.go_to_sleep_pose()",
+        lambda: viperx.go_to_sleep_pose(),
+    )
+    return lines
+
+
+def build_crystallization_workflow(
+    proxies: Dict[str, DeviceProxy],
+    amount_mg: float = 4.0,
+    solvent_ml: float = 3.0,
+    shake_rpm: float = 800.0,
+    vial_name: str = "vial_2",
+) -> List[ScriptLine]:
+    """A second Hein production workflow: a crystallization screen.
+
+    Doses solid behind the glass door, adds solvent on the hotplate, then
+    agitates the sample on the **thermoshaker** (the deck device the
+    solubility run never touches), and returns the vial.  Uses the second
+    grid vial so it can run back-to-back with the solubility experiment.
+    """
+    ur3e = proxies["ur3e"]
+    dosing = proxies["dosing_device"]
+    pump = proxies["syringe_pump"]
+    shaker = proxies["thermoshaker"]
+    vial = proxies[vial_name]
+
+    lines: List[ScriptLine] = []
+
+    def add(line_id: str, text: str, fn: Callable[[], Any]) -> None:
+        lines.append(ScriptLine(line_id, text, fn))
+
+    add("decap", "vial.decap_vial()", lambda: vial.decap_vial())
+    add("open_door", "dosing_device.open_door()", lambda: dosing.open_door())
+    add("stage_grid", "robot.move_to_location(grid_a2_safe)",
+        lambda: ur3e.move_to_location("grid_a2_safe"))
+    add("pick_grid", "robot.pick_up_vial(grid_a2)", lambda: ur3e.pick_up_vial("grid_a2"))
+    add("lift_grid", "robot.move_to_location(grid_a2_safe)",
+        lambda: ur3e.move_to_location("grid_a2_safe"))
+    add("approach_dosing", "robot.move_to_location(dosing_approach)",
+        lambda: ur3e.move_to_location("dosing_approach"))
+    add("place_dosing", "robot.place_vial(dosing_interior)",
+        lambda: ur3e.place_vial("dosing_interior"))
+    add("exit_dosing", "robot.move_to_location(dosing_approach)",
+        lambda: ur3e.move_to_location("dosing_approach"))
+    add("close_door", "dosing_device.close_door()", lambda: dosing.close_door())
+    add("dose_solid", f"dosing_device.doseSolid({amount_mg:g})",
+        lambda: dosing.dose_solid(amount_mg))
+    add("stop_dosing", "dosing_device.stop_action()", lambda: dosing.stop_action())
+    add("reopen_door", "dosing_device.open_door()", lambda: dosing.open_door())
+    add("approach_dosing_2", "robot.move_to_location(dosing_approach)",
+        lambda: ur3e.move_to_location("dosing_approach"))
+    add("pick_dosing", "robot.pick_up_vial(dosing_interior)",
+        lambda: ur3e.pick_up_vial("dosing_interior"))
+    add("exit_dosing_2", "robot.move_to_location(dosing_approach)",
+        lambda: ur3e.move_to_location("dosing_approach"))
+    add("close_door_2", "dosing_device.close_door()", lambda: dosing.close_door())
+
+    # Solvent on the hotplate dispense point, then agitation on the shaker.
+    add("stage_hotplate", "robot.move_to_location(hotplate_safe)",
+        lambda: ur3e.move_to_location("hotplate_safe"))
+    add("place_hotplate", "robot.place_vial(hotplate_top)",
+        lambda: ur3e.place_vial("hotplate_top"))
+    add("clear_hotplate", "robot.move_to_location(hotplate_safe)",
+        lambda: ur3e.move_to_location("hotplate_safe"))
+    add("dose_solvent", f"syringe_pump.doseSolvent({solvent_ml:g})",
+        lambda: pump.dose_solvent(solvent_ml))
+    add("pick_hotplate", "robot.pick_up_vial(hotplate_top)",
+        lambda: ur3e.pick_up_vial("hotplate_top"))
+    add("lift_hotplate", "robot.move_to_location(hotplate_safe)",
+        lambda: ur3e.move_to_location("hotplate_safe"))
+    add("stage_shaker", "robot.move_to_location(shaker_safe)",
+        lambda: ur3e.move_to_location("shaker_safe"))
+    add("place_shaker", "robot.place_vial(shaker_top)",
+        lambda: ur3e.place_vial("shaker_top"))
+    add("clear_shaker", "robot.move_to_location(shaker_safe)",
+        lambda: ur3e.move_to_location("shaker_safe"))
+    add("shake", f"thermoshaker.shake({shake_rpm:g})", lambda: shaker.shake(shake_rpm))
+    add("stop_shake", "thermoshaker.stop_action()", lambda: shaker.stop_action())
+
+    # Return the sample to the grid.
+    add("restage_shaker", "robot.move_to_location(shaker_safe)",
+        lambda: ur3e.move_to_location("shaker_safe"))
+    add("pick_shaker", "robot.pick_up_vial(shaker_top)",
+        lambda: ur3e.pick_up_vial("shaker_top"))
+    add("lift_shaker", "robot.move_to_location(shaker_safe)",
+        lambda: ur3e.move_to_location("shaker_safe"))
+    add("restage_grid", "robot.move_to_location(grid_a2_safe)",
+        lambda: ur3e.move_to_location("grid_a2_safe"))
+    add("return_vial", "robot.place_vial(grid_a2)", lambda: ur3e.place_vial("grid_a2"))
+    add("cap", "vial.cap_vial()", lambda: vial.cap_vial())
+    add("home", "robot.go_to_home_pose()", lambda: ur3e.go_to_home_pose())
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# The Fig. 1(b) production solubility workflow
+# ---------------------------------------------------------------------------
+
+
+def build_solubility_workflow(
+    proxies: Dict[str, DeviceProxy],
+    amount_mg: float = 5.0,
+    initial_solvent_ml: float = 4.0,
+    temperature: float = 60.0,
+    dissolution_rounds: int = 2,
+    centrifuge_rpm: float = 3000.0,
+) -> List[ScriptLine]:
+    """The automated solubility measurement of Fig. 1(b), extended with
+    the centrifugation step that exercises the Table IV custom rules."""
+    ur3e = proxies["ur3e"]
+    dosing = proxies["dosing_device"]
+    pump = proxies["syringe_pump"]
+    hotplate = proxies["hotplate"]
+    centrifuge = proxies["centrifuge"]
+    vial = proxies["vial_1"]
+
+    lines: List[ScriptLine] = []
+
+    def add(line_id: str, text: str, fn: Callable[[], Any]) -> None:
+        lines.append(ScriptLine(line_id, text, fn))
+
+    # doseSolid(amount): open door, ferry the vial in, dose, ferry it out.
+    add("decap", "vial.decap_vial()", lambda: vial.decap_vial())
+    add("open_door_1", "dosing_device.open_door()", lambda: dosing.open_door())
+    add(
+        "stage_grid",
+        "robot.move_to_location(grid_a1_safe)",
+        lambda: ur3e.move_to_location("grid_a1_safe"),
+    )
+    add(
+        "pick_vial_grid",
+        "robot.pick_up_vial(grid_a1)",
+        lambda: ur3e.pick_up_vial("grid_a1"),
+    )
+    add(
+        "lift_grid",
+        "robot.move_to_location(grid_a1_safe)",
+        lambda: ur3e.move_to_location("grid_a1_safe"),
+    )
+    add(
+        "approach_dosing",
+        "robot.move_to_location(dosing_approach)",
+        lambda: ur3e.move_to_location("dosing_approach"),
+    )
+    add(
+        "place_vial_dosing",
+        "robot.place_vial(dosing_interior)",
+        lambda: ur3e.place_vial("dosing_interior"),
+    )
+    add(
+        "exit_dosing_1",
+        "robot.move_to_location(dosing_approach)",
+        lambda: ur3e.move_to_location("dosing_approach"),
+    )
+    add("home_1", "robot.go_to_home_pose()", lambda: ur3e.go_to_home_pose())
+    add("close_door_1", "dosing_device.close_door()", lambda: dosing.close_door())
+    add(
+        "dose_solid",
+        f"dosing_device.doseSolid({amount_mg:g})",
+        lambda: dosing.dose_solid(amount_mg),
+    )
+    add("stop_dosing", "dosing_device.stop_action()", lambda: dosing.stop_action())
+    add("open_door_2", "dosing_device.open_door()", lambda: dosing.open_door())
+    add(
+        "approach_dosing_2",
+        "robot.move_to_location(dosing_approach)",
+        lambda: ur3e.move_to_location("dosing_approach"),
+    )
+    add(
+        "pick_vial_dosing",
+        "robot.pick_up_vial(dosing_interior)",
+        lambda: ur3e.pick_up_vial("dosing_interior"),
+    )
+    add(
+        "exit_dosing_2",
+        "robot.move_to_location(dosing_approach)",
+        lambda: ur3e.move_to_location("dosing_approach"),
+    )
+    add("close_door_2", "dosing_device.close_door()", lambda: dosing.close_door())
+
+    # Move to the hotplate and run the dissolution loop.
+    add(
+        "stage_hotplate",
+        "robot.move_to_location(hotplate_safe)",
+        lambda: ur3e.move_to_location("hotplate_safe"),
+    )
+    add(
+        "place_vial_hotplate",
+        "robot.place_vial(hotplate_top)",
+        lambda: ur3e.place_vial("hotplate_top"),
+    )
+    add(
+        "clear_hotplate",
+        "robot.move_to_location(hotplate_safe)",
+        lambda: ur3e.move_to_location("hotplate_safe"),
+    )
+    add(
+        "dose_initial_solvent",
+        f"syringe_pump.doseInitialSolvent({initial_solvent_ml:g})",
+        lambda: pump.dose_initial_solvent(initial_solvent_ml),
+    )
+    add(
+        "stir_initial",
+        f"hotplate.stirSolution({temperature:g})",
+        lambda: hotplate.stir_solution(temperature),
+    )
+    add("stop_stir_initial", "hotplate.stop_action()", lambda: hotplate.stop_action())
+    for round_no in range(1, dissolution_rounds + 1):
+        add(
+            f"dose_solvent_{round_no}",
+            "syringe_pump.doseSolvent(2)",
+            lambda: pump.dose_solvent(2.0),
+        )
+        add(
+            f"stir_{round_no}",
+            f"hotplate.stirSolution({temperature:g})",
+            lambda: hotplate.stir_solution(temperature),
+        )
+        add(
+            f"stop_stir_{round_no}",
+            "hotplate.stop_action()",
+            lambda: hotplate.stop_action(),
+        )
+
+    # Centrifugation (exercises Table IV: both phases, red dot, stopper).
+    add(
+        "pick_vial_hotplate",
+        "robot.pick_up_vial(hotplate_top)",
+        lambda: ur3e.pick_up_vial("hotplate_top"),
+    )
+    add(
+        "lift_hotplate",
+        "robot.move_to_location(hotplate_safe)",
+        lambda: ur3e.move_to_location("hotplate_safe"),
+    )
+    add("cap", "vial.cap_vial()", lambda: vial.cap_vial())
+    add(
+        "approach_centrifuge",
+        "robot.move_to_location(centrifuge_approach)",
+        lambda: ur3e.move_to_location("centrifuge_approach"),
+    )
+    add(
+        "place_vial_centrifuge",
+        "robot.place_vial(centrifuge_slot)",
+        lambda: ur3e.place_vial("centrifuge_slot"),
+    )
+    add(
+        "exit_centrifuge",
+        "robot.move_to_location(centrifuge_approach)",
+        lambda: ur3e.move_to_location("centrifuge_approach"),
+    )
+    add("close_lid", "centrifuge.close_door()", lambda: centrifuge.close_door())
+    add(
+        "spin",
+        f"centrifuge.start_action({centrifuge_rpm:g})",
+        lambda: centrifuge.start_action(centrifuge_rpm),
+    )
+    add("stop_spin", "centrifuge.stop_action()", lambda: centrifuge.stop_action())
+    add("open_lid", "centrifuge.open_door()", lambda: centrifuge.open_door())
+    add(
+        "approach_centrifuge_2",
+        "robot.move_to_location(centrifuge_approach)",
+        lambda: ur3e.move_to_location("centrifuge_approach"),
+    )
+    add(
+        "pick_vial_centrifuge",
+        "robot.pick_up_vial(centrifuge_slot)",
+        lambda: ur3e.pick_up_vial("centrifuge_slot"),
+    )
+    add(
+        "exit_centrifuge_2",
+        "robot.move_to_location(centrifuge_approach)",
+        lambda: ur3e.move_to_location("centrifuge_approach"),
+    )
+    add(
+        "return_stage",
+        "robot.move_to_location(grid_a1_safe)",
+        lambda: ur3e.move_to_location("grid_a1_safe"),
+    )
+    add(
+        "return_vial",
+        "robot.place_vial(grid_a1)",
+        lambda: ur3e.place_vial("grid_a1"),
+    )
+    add("home_final", "robot.go_to_home_pose()", lambda: ur3e.go_to_home_pose())
+    return lines

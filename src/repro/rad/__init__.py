@@ -1,0 +1,48 @@
+"""RAD — the Robot Arm Dataset substitute (§II-A, first rule source).
+
+The paper mined the real RAD ("three months of command trace data
+captured in the Hein Lab") for rules implied by command sequences,
+finding both lab-agnostic invariants ("device doors must be opened before
+a robot arm can enter them") and lab-specific ones ("solids must be added
+to containers before liquids").
+
+This package reproduces the pipeline on synthetic data:
+
+- :mod:`repro.rad.trace` -- trace records and (de)serialization;
+- :mod:`repro.rad.generator` -- replays parameterized workflows on the
+  simulated decks to produce months' worth of traces;
+- :mod:`repro.rad.mining` -- mines precedence invariants from the traces
+  and classifies them as *general* (supported in every lab's traces) or
+  *custom* (supported in only one lab), the paper's two rule categories.
+"""
+
+from repro.rad.trace import TraceEvent, Trace, TraceDataset, events_from_records
+from repro.rad.generator import (
+    generate_hein_traces,
+    generate_berlinguette_traces,
+    generate_combined,
+)
+from repro.rad.mining import (
+    MinedRule,
+    DoorRule,
+    mine_precedence_rules,
+    mine_door_rules,
+    mine_and_classify,
+    classify_rules,
+)
+
+__all__ = [
+    "TraceEvent",
+    "Trace",
+    "TraceDataset",
+    "events_from_records",
+    "generate_hein_traces",
+    "generate_berlinguette_traces",
+    "generate_combined",
+    "MinedRule",
+    "DoorRule",
+    "mine_precedence_rules",
+    "mine_door_rules",
+    "mine_and_classify",
+    "classify_rules",
+]

@@ -1,0 +1,110 @@
+"""Synthetic trace generation — the RAD dataset substitute.
+
+The real RAD holds three months of Hein Lab command traces.  We replay
+the same workflows the traces came from — parameterized solubility runs
+(Fig. 1(b)) with occasional centrifugation legs — on the simulated deck,
+recording every intercepted command.  A second generator produces
+Berlinguette-style spray-coating traces so the miner can perform the
+paper's general/custom classification across labs.
+
+Sessions vary deterministically (seeded) in dose amounts, dissolution
+rounds, and whether optional legs run, mimicking months of heterogeneous
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.interceptor import instrument
+from repro.lab.berlinguette import (
+    build_berlinguette_deck,
+    build_spray_coating_workflow,
+    make_berlinguette_rabit,
+)
+from repro.lab.hein import build_hein_deck, make_hein_rabit
+from repro.lab.workflows import build_solubility_workflow, run_workflow
+from repro.rad.trace import Trace, TraceDataset, events_from_records
+
+
+def generate_hein_traces(sessions: int = 20, seed: int = 42) -> TraceDataset:
+    """Replay *sessions* varied solubility experiments on the Hein deck.
+
+    Every session runs under RABIT (as the real lab does) and must
+    complete alert-free — the dataset contains only *normal* operation,
+    which is what makes its invariants meaningful.
+    """
+    rng = np.random.default_rng(seed)
+    dataset = TraceDataset(name="rad-hein")
+    for session in range(sessions):
+        deck = build_hein_deck()
+        rabit, proxies, trace_records = make_hein_rabit(deck)
+        workflow = build_solubility_workflow(
+            proxies,
+            amount_mg=float(rng.integers(3, 8)),
+            initial_solvent_ml=float(rng.integers(2, 6)),
+            temperature=float(rng.integers(40, 100)),
+            dissolution_rounds=int(rng.integers(1, 4)),
+            centrifuge_rpm=float(rng.integers(2000, 5000)),
+        )
+        result = run_workflow(workflow)
+        if not result.completed:  # pragma: no cover - generator invariant
+            raise RuntimeError(
+                f"RAD generator session {session} did not complete: {result.alert}"
+            )
+        dataset.traces.append(
+            Trace(
+                session_id=f"hein-{session:04d}",
+                lab="hein",
+                events=events_from_records(
+                    trace_records, deck.devices, interior_owner=deck.model.interior_owner
+                ),
+            )
+        )
+    return dataset
+
+
+def generate_berlinguette_traces(sessions: int = 12, seed: int = 7) -> TraceDataset:
+    """Replay spray-coating runs; roughly a third are solvent-only.
+
+    The solvent-only runs legitimately dose liquid into vials holding no
+    solid — they are what stops the Hein Lab's solids-before-liquids
+    invariant from classifying as a general rule.
+    """
+    rng = np.random.default_rng(seed)
+    dataset = TraceDataset(name="rad-berlinguette")
+    for session in range(sessions):
+        deck = build_berlinguette_deck()
+        rabit, proxies, trace_records = make_berlinguette_rabit(deck)
+        solvent_only = bool(rng.random() < 0.34)
+        result = run_workflow(
+            build_spray_coating_workflow(proxies, solvent_only=solvent_only)
+        )
+        if not result.completed:  # pragma: no cover - generator invariant
+            raise RuntimeError(
+                f"RAD generator session {session} did not complete: {result.alert}"
+            )
+        dataset.traces.append(
+            Trace(
+                session_id=f"berlinguette-{session:04d}",
+                lab="berlinguette",
+                events=events_from_records(
+                    trace_records, deck.devices, interior_owner=deck.model.interior_owner
+                ),
+            )
+        )
+    return dataset
+
+
+def generate_combined(
+    hein_sessions: int = 20, berlinguette_sessions: int = 12, seed: int = 42
+) -> TraceDataset:
+    """Both labs' traces in one dataset (the classification input)."""
+    combined = TraceDataset(name="rad-combined")
+    combined.traces.extend(generate_hein_traces(hein_sessions, seed=seed).traces)
+    combined.traces.extend(
+        generate_berlinguette_traces(berlinguette_sessions, seed=seed + 1).traces
+    )
+    return combined

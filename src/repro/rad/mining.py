@@ -1,0 +1,261 @@
+"""Precedence-rule mining over command traces.
+
+The paper "mined the dataset to identify rules implied by the sequences
+of commands", e.g. "device doors must be opened before a robot arm can
+enter them" (general) and "solids must be added to containers before
+liquids" (Hein-specific).  Both are *precedence invariants*:
+
+    every occurrence of consequent **B** is preceded, within the same
+    session, by at least one occurrence of antecedent **A** that has not
+    been "consumed" by an earlier B (for resettable pairs like
+    open-door/enter, the miner requires an A after the most recent
+    B-blocking event).
+
+The miner enumerates event-type pairs at the ``(action label, device
+kind)`` abstraction, keeps pairs whose confidence is 1.0 with support
+above a floor, and then classifies each surviving rule:
+
+- **general**  — the invariant holds (with support) in every lab's traces;
+- **custom**   — it holds in one lab but is violated or unsupported in
+  another (the paper's "rules that seemed unique to the lab").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.rad.trace import Trace, TraceDataset
+
+EventType = Tuple[str, str]  # (action label, device kind)
+
+
+@dataclass(frozen=True)
+class MinedRule:
+    """One precedence invariant: *antecedent* before *consequent*."""
+
+    antecedent: EventType
+    consequent: EventType
+    support: int  # number of consequent occurrences observed
+    confidence: float  # fraction of those preceded by the antecedent
+    #: "general" or "custom"; custom rules carry the lab they hold in.
+    scope: str = "unclassified"
+    lab: Optional[str] = None
+
+    def describe(self) -> str:
+        """Human-readable rule statement."""
+        a_label, a_kind = self.antecedent
+        c_label, c_kind = self.consequent
+        text = (
+            f"'{a_label}' on a {a_kind.replace('_', ' ')} must precede "
+            f"'{c_label}' on a {c_kind.replace('_', ' ')}"
+        )
+        if self.scope == "custom" and self.lab:
+            return f"[custom:{self.lab}] {text}"
+        return f"[{self.scope}] {text}"
+
+
+def _precedence_confidence(
+    traces: Iterable[Trace], antecedent: EventType, consequent: EventType
+) -> Tuple[int, int]:
+    """Count consequent occurrences and how many had a prior antecedent.
+
+    Existential semantics (the standard precedence template): a
+    consequent occurrence is satisfied when *some* antecedent occurred
+    earlier in the same session.  This is what makes "solids before
+    liquids" hold in the Hein traces (one solid dose licenses all later
+    solvent doses into the same experiment) and fail in the Berlinguette
+    solvent-only runs.
+    """
+    satisfied = 0
+    total = 0
+    for trace in traces:
+        seen_antecedent = False
+        for event in trace:
+            if event.kind_key == antecedent:
+                seen_antecedent = True
+            if event.kind_key == consequent:
+                total += 1
+                if seen_antecedent:
+                    satisfied += 1
+    return total, satisfied
+
+
+#: Robot action labels that take the gripper into a device's interior.
+_ENTRY_LABELS = frozenset(
+    {"move_robot_inside", "pick_object", "place_object", "open_gripper", "close_gripper"}
+)
+
+
+@dataclass(frozen=True)
+class DoorRule:
+    """A device-instance invariant: the door is open whenever a robot
+    command enters that device (Table III rule 1, as mined from traces)."""
+
+    device: str
+    support: int  # number of entry events observed
+    violations: int
+
+    @property
+    def holds(self) -> bool:
+        """Whether the invariant held across all observed entries."""
+        return self.violations == 0
+
+    def describe(self) -> str:
+        return (
+            f"door of {self.device!r} must be open before a robot arm enters "
+            f"({self.support} entries, {self.violations} violations)"
+        )
+
+
+def mine_door_rules(dataset: TraceDataset, min_support: int = 3) -> List[DoorRule]:
+    """Mine the door-before-enter invariant per doored device.
+
+    Tracks each device's door state through its open/close commands and
+    checks that every entry event (a robot command targeting that
+    device's interior) happens while the door is open.  Devices whose
+    door commands never appear are skipped.
+    """
+    supports: Dict[str, int] = defaultdict(int)
+    violations: Dict[str, int] = defaultdict(int)
+    doored: Set[str] = set()
+    for trace in dataset.traces:
+        door_open: Dict[str, bool] = {}
+        for event in trace:
+            if event.label == "open_door":
+                door_open[event.device] = True
+                doored.add(event.device)
+            elif event.label == "close_door":
+                door_open[event.device] = False
+                doored.add(event.device)
+            elif event.label in _ENTRY_LABELS and event.target_device:
+                supports[event.target_device] += 1
+                # Only judge entries once this session has established the
+                # door's state via an explicit command; the dataset does
+                # not record initial door positions.
+                if event.target_device in door_open and not door_open[event.target_device]:
+                    violations[event.target_device] += 1
+    return [
+        DoorRule(device=d, support=supports[d], violations=violations[d])
+        for d in sorted(doored)
+        if supports[d] >= min_support
+    ]
+
+
+def mine_precedence_rules(
+    dataset: TraceDataset,
+    min_support: int = 5,
+    min_confidence: float = 1.0,
+    max_rules: int = 50,
+) -> List[MinedRule]:
+    """Enumerate (antecedent, consequent) pairs and keep the invariants.
+
+    Trivial pairs (same label) and inverted duplicates of symmetric
+    always-co-occurring pairs are pruned; among surviving rules for the
+    same consequent, all are kept — the researcher curates the final
+    rulebase (the paper resolved conflicts by deferring to the lab's
+    experts).
+    """
+    event_types: Set[EventType] = set()
+    for trace in dataset.traces:
+        for event in trace:
+            event_types.add(event.kind_key)
+
+    rules: List[MinedRule] = []
+    for consequent in sorted(event_types):
+        for antecedent in sorted(event_types):
+            if antecedent == consequent or antecedent[0] == consequent[0]:
+                continue
+            total, satisfied = _precedence_confidence(
+                dataset.traces, antecedent, consequent
+            )
+            if total < min_support:
+                continue
+            confidence = satisfied / total
+            if confidence >= min_confidence:
+                rules.append(
+                    MinedRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        support=total,
+                        confidence=confidence,
+                    )
+                )
+    rules.sort(key=lambda r: (-r.support, r.antecedent, r.consequent))
+    return rules[:max_rules]
+
+
+def mine_and_classify(
+    dataset: TraceDataset,
+    min_support: int = 5,
+    max_rules_per_lab: int = 60,
+) -> List[MinedRule]:
+    """The full pipeline: mine candidates per lab, classify on the union.
+
+    Mining per lab matters: an invariant that holds in one lab's traces
+    (solids before liquids in the Hein Lab) would never survive a
+    combined-dataset confidence filter when another lab legitimately
+    violates it — yet those are exactly the rules the paper classifies
+    as *custom*.
+    """
+    by_lab: Dict[str, TraceDataset] = {}
+    for trace in dataset.traces:
+        by_lab.setdefault(trace.lab, TraceDataset(name=trace.lab)).traces.append(trace)
+
+    candidates: Dict[Tuple[EventType, EventType], MinedRule] = {}
+    for lab_dataset in by_lab.values():
+        for rule in mine_precedence_rules(
+            lab_dataset, min_support=min_support, max_rules=max_rules_per_lab
+        ):
+            key = (rule.antecedent, rule.consequent)
+            existing = candidates.get(key)
+            if existing is None or rule.support > existing.support:
+                candidates[key] = rule
+    return classify_rules(list(candidates.values()), dataset, min_support=min_support)
+
+
+def classify_rules(
+    rules: Sequence[MinedRule], dataset: TraceDataset, min_support: int = 3
+) -> List[MinedRule]:
+    """Split mined rules into general vs custom across the dataset's labs.
+
+    A rule is **general** when every lab with enough observations of the
+    consequent satisfies it; **custom** when exactly one lab supports it
+    and at least one other lab observes the consequent but violates (or
+    simply does not exhibit) the invariant.
+    """
+    labs = dataset.labs()
+    by_lab: Dict[str, List[Trace]] = defaultdict(list)
+    for trace in dataset.traces:
+        by_lab[trace.lab].append(trace)
+
+    classified: List[MinedRule] = []
+    for rule in rules:
+        holding_labs: List[str] = []
+        observing_labs: List[str] = []
+        for lab in labs:
+            total, satisfied = _precedence_confidence(
+                by_lab[lab], rule.antecedent, rule.consequent
+            )
+            if total >= min_support:
+                observing_labs.append(lab)
+                if satisfied == total:
+                    holding_labs.append(lab)
+        if not observing_labs:
+            continue
+        if len(holding_labs) == len(observing_labs) and len(observing_labs) > 1:
+            classified.append(
+                MinedRule(
+                    rule.antecedent, rule.consequent, rule.support,
+                    rule.confidence, scope="general",
+                )
+            )
+        elif len(holding_labs) >= 1:
+            classified.append(
+                MinedRule(
+                    rule.antecedent, rule.consequent, rule.support,
+                    rule.confidence, scope="custom", lab=holding_labs[0],
+                )
+            )
+    return classified

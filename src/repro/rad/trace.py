@@ -1,0 +1,139 @@
+"""Trace records: one event per intercepted device command.
+
+Events are abstracted to ``(action label, device kind)`` pairs for
+mining, so that a rule mined from the Hein Lab's dosing device ("open the
+door before entering") transfers to any lab's doored devices — the
+paper's general/custom split depends on this abstraction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.actions import ActionLabel
+from repro.core.interceptor import CommandRecord
+from repro.devices.base import Device, DeviceKind
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced command."""
+
+    time: float
+    device: str
+    device_kind: str
+    label: str
+    #: For robot entry commands, the device whose interior is targeted.
+    target_device: Optional[str] = None
+
+    @property
+    def kind_key(self) -> Tuple[str, str]:
+        """The abstracted event type used for mining."""
+        return (self.label, self.device_kind)
+
+    @property
+    def device_key(self) -> Tuple[str, str]:
+        """The concrete event type (label + device instance)."""
+        return (self.label, self.device)
+
+
+@dataclass
+class Trace:
+    """One experiment session's ordered events."""
+
+    session_id: str
+    lab: str
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+
+@dataclass
+class TraceDataset:
+    """A collection of traces (the dataset the miner consumes)."""
+
+    name: str
+    traces: List[Trace] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def labs(self) -> Tuple[str, ...]:
+        """Distinct lab names present in the dataset."""
+        return tuple(sorted({t.lab for t in self.traces}))
+
+    def total_events(self) -> int:
+        """Total number of command events across all traces."""
+        return sum(len(t) for t in self.traces)
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_jsonl(self, path: Path) -> None:
+        """Write one JSON object per trace."""
+        with open(path, "w") as fh:
+            for trace in self.traces:
+                fh.write(
+                    json.dumps(
+                        {
+                            "session_id": trace.session_id,
+                            "lab": trace.lab,
+                            "events": [asdict(e) for e in trace.events],
+                        }
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def from_jsonl(cls, path: Path, name: str = "dataset") -> "TraceDataset":
+        """Load a dataset written by :meth:`to_jsonl`."""
+        traces: List[Trace] = []
+        with open(path) as fh:
+            for line in fh:
+                obj = json.loads(line)
+                traces.append(
+                    Trace(
+                        session_id=obj["session_id"],
+                        lab=obj["lab"],
+                        events=[TraceEvent(**e) for e in obj["events"]],
+                    )
+                )
+        return cls(name=name, traces=traces)
+
+
+def events_from_records(
+    records: Iterable[CommandRecord],
+    devices: dict,
+    interior_owner: Optional[callable] = None,
+) -> List[TraceEvent]:
+    """Convert interceptor command records into trace events.
+
+    *interior_owner* maps a location name to the device whose interior it
+    is (``None`` otherwise); when provided, robot entry commands carry
+    the entered device so the door-rule miner can pair them with that
+    device's door commands."""
+    events: List[TraceEvent] = []
+    for record in records:
+        if record.label is None:
+            continue
+        device: Optional[Device] = devices.get(record.device)
+        kind = device.kind.value if device is not None else "unknown"
+        target = None
+        if interior_owner is not None and record.location is not None:
+            target = interior_owner(record.location)
+        events.append(
+            TraceEvent(
+                time=record.time,
+                device=record.device,
+                device_kind=kind,
+                label=record.label.value,
+                target_device=target,
+            )
+        )
+    return events

@@ -1,0 +1,180 @@
+"""The Extended Simulator: trajectory sweeps against device cuboids.
+
+Implements Fig. 2 line 9's ``ValidTrajectory(a_next)``.  Where plain RABIT
+checks only the *target* point, the Extended Simulator polls the full
+planned trajectory of the commanded arm — starting from the arm's **actual
+current posture** (it polls the robot, so a previous silently-skipped move
+cannot fool it; this is how it catches the §IV footnote-2 scenario) — and
+sweeps:
+
+- the polled tool point against every configured obstacle cuboid,
+- the gripper tip against obstacles **and** support surfaces,
+- the held vial's tip likewise, when RABIT believes the arm holds one and
+  the held-object modification is enabled,
+- every polled point against the frame's software walls and (when
+  configured) workspace bounds.
+
+All geometry comes from RABIT's *configuration* (the JSON-derived
+:class:`~repro.core.model.RabitLabModel`), never from ground truth — the
+simulator is only as good as the researcher's cuboid entries, which is
+the paper's stated limitation about non-cuboid devices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.actions import ActionCall, ActionLabel
+from repro.core.model import RabitLabModel
+from repro.core.state import LabState
+from repro.devices.robot import RobotArmDevice
+from repro.geometry.shapes import Cuboid
+from repro.kinematics.arm import TrajectoryPlan, UnreachableTargetError
+
+
+class ExtendedSimulator:
+    """URSim extended with deck-level cuboid collision checking."""
+
+    #: Trajectory polling resolution (samples per motion).
+    RESOLUTION = 30
+
+    def __init__(self, robots: Dict[str, RobotArmDevice]) -> None:
+        #: The real arm devices the simulator polls for current postures.
+        self._robots = dict(robots)
+
+    # ------------------------------------------------------------------
+    # TrajectoryChecker protocol
+    # ------------------------------------------------------------------
+
+    def validate_trajectory(
+        self,
+        call: ActionCall,
+        state: LabState,
+        model: RabitLabModel,
+        account_held_objects: bool,
+    ) -> Optional[str]:
+        """Reason the commanded motion would collide, or ``None``."""
+        if call.robot is None or call.robot not in self._robots:
+            return None
+        robot = self._robots[call.robot]
+        robot_model = model.device(call.robot)
+        frame = robot_model.frame or call.robot
+
+        plan = self._plan_for(robot, call)
+        if plan is None:
+            # The controller cannot plan this motion at all; there is no
+            # trajectory to sweep (the arm will skip or raise on its own).
+            return None
+
+        exclude: List[str] = []
+        owner = model.interior_owner(call.location)
+        if owner is not None and state.get("door_status", owner, "open") == "open":
+            exclude.append(owner)
+        currently_inside = state.get("robot_inside", call.robot)
+        if currently_inside is not None:
+            exclude.append(currently_inside)
+        if call.location is not None:
+            loc = model.location(call.location)
+            if loc.kind == "grid_slot" and loc.device:
+                exclude.append(loc.device)
+
+        obstacles = model.obstacles_for_frame(frame, exclude=exclude)
+        surfaces = model.surfaces_for_frame(frame, exclude=exclude)
+        walls = model.walls.get(frame, [])
+        bounds = model.workspace_bounds.get(frame)
+
+        held = (
+            state.get("robot_holding", call.robot)
+            if account_held_objects
+            else None
+        )
+
+        # The controller executes deck moves as straight tool-line motions
+        # (moveL semantics); sweep the straight end-effector segment from
+        # the arm's polled current position to the target — the same path
+        # the ground-truth physics sweeps.
+        ee_start = robot.kinematics.current_position()
+        ee_end = plan.trajectory.chain.end_effector_position(plan.trajectory.q_end)
+        ee_samples = [
+            ee_start + (ee_end - ee_start) * (i / self.RESOLUTION)
+            for i in range(self.RESOLUTION + 1)
+        ]
+
+        for ee in ee_samples:
+            # Probe the polled tool point and gripper tip (position-only
+            # control leaves the wrist orientation free, so the arm is
+            # reduced to its tool for collision purposes — the same
+            # modeling choice as the ground-truth physics, keeping
+            # simulator and reality consistent).
+            box = self._point_hit(ee, obstacles, ())
+            if box is not None:
+                return (
+                    f"simulated trajectory of {call.robot!r}: arm would "
+                    f"collide with {box!r}"
+                )
+
+            tip = ee - np.array([0.0, 0.0, robot_model.gripper_clearance])
+            box = self._point_hit(tip, obstacles, surfaces)
+            if box is not None:
+                return (
+                    f"simulated trajectory of {call.robot!r}: gripper would "
+                    f"collide with {box!r}"
+                )
+
+            if held is not None:
+                vial_tip = ee - np.array([0.0, 0.0, robot_model.held_drop])
+                box = self._point_hit(vial_tip, obstacles, surfaces)
+                if box is not None:
+                    return (
+                        f"simulated trajectory of {call.robot!r}: held vial "
+                        f"{held!r} would collide with {box!r}"
+                    )
+
+            for wall in walls:
+                if not wall.allows(ee):
+                    return (
+                        f"simulated trajectory of {call.robot!r} crosses "
+                        f"software wall {wall.name!r}"
+                    )
+            if bounds is not None and not bounds.contains(ee):
+                return (
+                    f"simulated trajectory of {call.robot!r} leaves the "
+                    f"configured workspace"
+                )
+        return None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _plan_for(
+        self, robot: RobotArmDevice, call: ActionCall
+    ) -> Optional[TrajectoryPlan]:
+        """Plan the commanded motion from the arm's *polled* posture."""
+        kin = robot.kinematics
+        if call.label is ActionLabel.GO_HOME:
+            return kin.plan_posture(robot.profile.home_q)
+        if call.label is ActionLabel.GO_SLEEP:
+            return kin.plan_posture(robot.profile.sleep_q)
+        if call.target is None:
+            return None
+        try:
+            plan = kin.plan_move(call.target)
+        except UnreachableTargetError:
+            return None
+        if plan.skipped:
+            return None
+        return plan
+
+    @staticmethod
+    def _point_hit(
+        point: np.ndarray,
+        obstacles: Sequence[Cuboid],
+        surfaces: Sequence[Cuboid],
+    ) -> Optional[str]:
+        for box in list(obstacles) + list(surfaces):
+            if box.contains(point):
+                return box.name
+        return None

@@ -1,0 +1,38 @@
+"""Deterministic stand-in for the Extended Simulator's GUI latency.
+
+§II-C: "with the Extended Simulator, RABIT incurs approximately 2 s
+overhead (112 %).  The simulator overhead arises mainly from its Graphical
+User Interface (GUI), which runs in a virtual machine and is invoked each
+time RABIT checks for collisions.  The overhead is acceptable during
+testing, but for deployment, we plan to bypass the GUI entirely."
+
+:class:`GuiLatencyModel` encapsulates that cost so the latency benchmark
+can reproduce both deployments: GUI in the loop (the measured ~2 s per
+check) and GUI bypassed (headless sweeps only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.clock import VirtualClock
+
+
+@dataclass
+class GuiLatencyModel:
+    """Virtual-time cost of one simulator invocation.
+
+    ``render_latency`` is the VM + GUI round-trip per collision check;
+    ``headless_latency`` is the residual cost of the sweep itself when the
+    GUI is bypassed.
+    """
+
+    render_latency: float = 2.0
+    headless_latency: float = 0.010
+    bypass_gui: bool = False
+
+    def charge(self, clock: VirtualClock) -> float:
+        """Charge one invocation to *clock*; returns the seconds charged."""
+        cost = self.headless_latency if self.bypass_gui else self.render_latency
+        clock.advance(cost, "rabit_simulator_gui")
+        return cost

@@ -1,0 +1,53 @@
+"""A URSim-like single-arm simulator.
+
+URSim "comes with" the UR3e and is "accurate" for the arm itself, but "does
+not model other automation devices.  It also does not account for
+collisions when the robot arm moves through its mounting platform or hits
+the walls" (§III).  :class:`URSimArm` reproduces exactly that scope: it
+simulates one arm's kinematics and flags only *self-evident* infeasibility
+(unreachable targets), leaving deck-level collision awareness to the
+Extended Simulator built on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.geometry.vec import Vec3
+from repro.kinematics.arm import ArmKinematics, TrajectoryPlan, UnreachableTargetError
+from repro.kinematics.profiles import ArmProfile
+
+
+class URSimArm:
+    """Offline simulator for one arm, mirroring the vendor simulator."""
+
+    def __init__(self, profile: ArmProfile) -> None:
+        self.profile = profile
+        self._kin = ArmKinematics(profile)
+
+    @property
+    def kinematics(self) -> ArmKinematics:
+        """The simulated arm's kinematic state."""
+        return self._kin
+
+    def set_posture(self, q: Sequence[float]) -> None:
+        """Synchronize the simulated arm with a real arm's posture."""
+        self._kin.set_posture(q)
+
+    def try_plan(self, target: Sequence[float]) -> Optional[TrajectoryPlan]:
+        """Plan a move; ``None`` when the target is unreachable.
+
+        URSim reports infeasibility regardless of the physical vendor
+        behaviour (it is a simulator, not the controller), so this never
+        silently skips."""
+        try:
+            plan = self._kin.plan_move(target)
+        except UnreachableTargetError:
+            return None
+        if plan.skipped:
+            return None
+        return plan
+
+    def simulate(self, plan: TrajectoryPlan, resolution: int = 30) -> List[List[Vec3]]:
+        """Run the motion and return the polled per-sample arm polylines."""
+        return plan.trajectory.link_paths(resolution)

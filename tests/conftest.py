@@ -1,0 +1,18 @@
+"""Shared fixtures.
+
+The fault-injection campaign is the most expensive artifact the tests
+consult (48 full workflow runs); it is computed once per session and
+shared by every test module that asserts against it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.campaign import CampaignResult, run_campaign
+
+
+@pytest.fixture(scope="session")
+def campaign_result() -> CampaignResult:
+    """The full 16-bug x 3-configuration campaign, run once per session."""
+    return run_campaign()

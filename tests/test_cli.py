@@ -1,0 +1,95 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lab.hein import build_hein_deck
+
+
+@pytest.fixture()
+def config_file(tmp_path):
+    path = tmp_path / "hein.json"
+    path.write_text(json.dumps(build_hein_deck().config))
+    return path
+
+
+class TestValidate:
+    def test_valid_config_exits_zero(self, config_file, capsys):
+        assert main(["validate", str(config_file)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_invalid_config_exits_one(self, tmp_path, capsys):
+        config = build_hein_deck().config
+        config["devices"][0]["type"] = "teleporter"
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(config))
+        assert main(["validate", str(path)]) == 1
+        assert "unknown device type" in capsys.readouterr().out
+
+    def test_syntax_error_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"devices": [,]}')
+        assert main(["validate", str(path)]) == 1
+        assert "JSON syntax error" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["validate", "/nonexistent/lab.json"]) == 2
+
+
+class TestScenarios:
+    def test_subset_of_rules(self, capsys):
+        assert main(["scenarios", "--rules", "G1,G11"]) == 0
+        out = capsys.readouterr().out
+        assert "G1" in out and "G11" in out and "detected" in out
+        assert "G5" not in out
+
+
+class TestCalibration:
+    def test_prints_residual(self, capsys):
+        assert main(["calibration"]) == 0
+        assert "mean residual" in capsys.readouterr().out
+
+
+class TestLatency:
+    def test_prints_overheads(self, capsys):
+        assert main(["latency"]) == 0
+        out = capsys.readouterr().out
+        assert "rabit+es" in out and "overhead" in out
+
+
+class TestMine:
+    def test_mines_and_writes_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "traces.jsonl"
+        code = main(
+            ["mine", "--hein", "3", "--berlinguette", "3", "--out", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "door of" in out  # mined door invariant
+        assert "classified rules total" in out
+
+
+class TestCampaign:
+    def test_single_config_campaign(self, capsys):
+        # Run only the initial configuration to keep the CLI test fast.
+        assert main(["campaign", "--configs", "initial"]) == 0
+        out = capsys.readouterr().out
+        assert "8/16" in out and "50 %" in out
+        assert "match the paper" in out
+
+
+class TestRender:
+    def test_renders_each_lab(self, capsys):
+        for lab in ("hein", "testbed", "berlinguette"):
+            assert main(["render", "--lab", lab]) == 0
+        out = capsys.readouterr().out
+        assert "top-down" in out and "dosing_device" in out
+
+    def test_testbed_renders_both_frames(self, capsys):
+        assert main(["render", "--lab", "testbed"]) == 0
+        out = capsys.readouterr().out
+        assert "frame 'viperx'" in out and "frame 'ned2'" in out

@@ -1,0 +1,179 @@
+"""Unit tests for the transition table (Table II) postconditions."""
+
+import pytest
+
+from repro.core.actions import (
+    ActionCall,
+    ActionLabel,
+    TransitionContext,
+    TransitionTable,
+)
+from repro.core.state import LabState
+
+
+@pytest.fixture()
+def table():
+    return TransitionTable()
+
+
+@pytest.fixture()
+def ctx():
+    interiors = {"doser_in": "doser", "plate_top": "plate"}
+    loads = {"doser": "doser_in", "plate": "plate_top", "pump": "plate_top"}
+    return TransitionContext(
+        interior_owner=lambda loc: interiors.get(loc),
+        load_location=lambda dev: loads.get(dev),
+    )
+
+
+class TestTableStructure:
+    def test_every_label_has_a_row(self, table):
+        for label in ActionLabel:
+            row = table.row(label)
+            assert row.preconditions and row.postconditions
+
+    def test_rows_enumerable(self, table):
+        assert len(table.rows()) == len(ActionLabel)
+
+
+class TestMovePostconditions:
+    def test_move_robot_clears_containment(self, table, ctx):
+        state = LabState()
+        state.set("robot_inside", "arm", "doser")
+        call = ActionCall(ActionLabel.MOVE_ROBOT, "arm", robot="arm", location="slot")
+        expected = table.expected_state(state, call, ctx)
+        assert expected.get("robot_inside", "arm") is None
+
+    def test_move_inside_sets_containment(self, table, ctx):
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT_INSIDE, "arm", robot="arm", location="doser_in"
+        )
+        expected = table.expected_state(LabState(), call, ctx)
+        assert expected.get("robot_inside", "arm") == "doser"
+
+    def test_expected_state_does_not_mutate_current(self, table, ctx):
+        state = LabState()
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT_INSIDE, "arm", robot="arm", location="doser_in"
+        )
+        table.expected_state(state, call, ctx)
+        assert state.get("robot_inside", "arm") is None
+
+
+class TestPickPlacePostconditions:
+    def test_pick_takes_tracked_vial(self, table, ctx):
+        state = LabState()
+        state.set("container_at", "v1", "slot")
+        call = ActionCall(ActionLabel.PICK_OBJECT, "arm", robot="arm", location="slot")
+        expected = table.expected_state(state, call, ctx)
+        assert expected.get("robot_holding", "arm") == "v1"
+        assert expected.get("container_at", "v1") is None
+        assert expected.get("gripper", "arm") == "closed"
+
+    def test_pick_at_interior_sets_containment(self, table, ctx):
+        state = LabState()
+        state.set("container_at", "v1", "doser_in")
+        call = ActionCall(
+            ActionLabel.PICK_OBJECT, "arm", robot="arm", location="doser_in"
+        )
+        expected = table.expected_state(state, call, ctx)
+        assert expected.get("robot_inside", "arm") == "doser"
+
+    def test_place_rests_held_vial(self, table, ctx):
+        state = LabState()
+        state.set("robot_holding", "arm", "v1")
+        call = ActionCall(ActionLabel.PLACE_OBJECT, "arm", robot="arm", location="slot")
+        expected = table.expected_state(state, call, ctx)
+        assert expected.get("robot_holding", "arm") is None
+        assert expected.get("container_at", "v1") == "slot"
+        assert expected.get("gripper", "arm") == "open"
+
+    def test_open_gripper_without_belief_changes_nothing_tracked(self, table, ctx):
+        state = LabState()
+        state.set("container_at", "v1", "slot")
+        call = ActionCall(ActionLabel.OPEN_GRIPPER, "arm", robot="arm", location="slot")
+        expected = table.expected_state(state, call, ctx)
+        assert expected.get("container_at", "v1") == "slot"
+        assert expected.get("robot_holding", "arm") is None
+
+    def test_close_gripper_claims_vial_at_matched_location(self, table, ctx):
+        state = LabState()
+        state.set("container_at", "v1", "slot")
+        call = ActionCall(
+            ActionLabel.CLOSE_GRIPPER, "arm", robot="arm", location="slot"
+        )
+        expected = table.expected_state(state, call, ctx)
+        assert expected.get("robot_holding", "arm") == "v1"
+
+
+class TestDeviceDosePostconditions:
+    def test_doors(self, table, ctx):
+        open_call = ActionCall(ActionLabel.OPEN_DOOR, "doser")
+        state = table.expected_state(LabState(), open_call, ctx)
+        assert state.get("door_status", "doser") == "open"
+        close_call = ActionCall(ActionLabel.CLOSE_DOOR, "doser")
+        state = table.expected_state(state, close_call, ctx)
+        assert state.get("door_status", "doser") == "closed"
+
+    def test_start_dosing_updates_contents_and_total(self, table, ctx):
+        state = LabState()
+        state.set("container_at", "v1", "doser_in")
+        state.set("container_solid", "v1", 2.0)
+        call = ActionCall(ActionLabel.START_DOSING, "doser", quantity=5.0)
+        expected = table.expected_state(state, call, ctx)
+        assert expected.get("container_solid", "v1") == pytest.approx(7.0)
+        assert expected.get("dispensed_mg", "doser") == pytest.approx(5.0)
+        assert expected.get("device_active", "doser") is True
+
+    def test_dose_liquid_updates_believed_liquid(self, table, ctx):
+        state = LabState()
+        state.set("container_at", "v1", "plate_top")
+        call = ActionCall(ActionLabel.DOSE_LIQUID, "pump", quantity=3.0)
+        expected = table.expected_state(state, call, ctx)
+        assert expected.get("container_liquid", "v1") == pytest.approx(3.0)
+        assert expected.get("dispensed_ml", "pump") == pytest.approx(3.0)
+
+    def test_dose_with_no_tracked_vial_only_updates_total(self, table, ctx):
+        call = ActionCall(ActionLabel.START_DOSING, "doser", quantity=5.0)
+        expected = table.expected_state(LabState(), call, ctx)
+        assert expected.get("dispensed_mg", "doser") == pytest.approx(5.0)
+
+    def test_action_device_lifecycle(self, table, ctx):
+        start = ActionCall(ActionLabel.START_ACTION, "plate", value=60.0)
+        state = table.expected_state(LabState(), start, ctx)
+        assert state.get("device_active", "plate") is True
+        assert state.get("action_value", "plate") == 60.0
+        stop = ActionCall(ActionLabel.STOP_ACTION, "plate")
+        state = table.expected_state(state, stop, ctx)
+        assert state.get("device_active", "plate") is False
+
+    def test_set_action_value(self, table, ctx):
+        call = ActionCall(ActionLabel.SET_ACTION_VALUE, "plate", value=80.0)
+        state = table.expected_state(LabState(), call, ctx)
+        assert state.get("action_value", "plate") == 80.0
+
+    def test_rotate_rotor(self, table, ctx):
+        call = ActionCall(ActionLabel.ROTATE_ROTOR, "spin", direction="W")
+        state = table.expected_state(LabState(), call, ctx)
+        assert state.get("red_dot", "spin") == "W"
+
+    def test_cap_and_decap(self, table, ctx):
+        state = table.expected_state(
+            LabState(), ActionCall(ActionLabel.DECAP, "v1"), ctx
+        )
+        assert state.get("container_stopper", "v1") == "off"
+        state = table.expected_state(state, ActionCall(ActionLabel.CAP, "v1"), ctx)
+        assert state.get("container_stopper", "v1") == "on"
+
+
+class TestActionCall:
+    def test_describe_includes_key_fields(self):
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT,
+            "arm",
+            robot="arm",
+            location="slot",
+            target=(0.1, 0.2, 0.3),
+        )
+        text = call.describe()
+        assert "move_robot" in text and "slot" in text and "0.300" in text

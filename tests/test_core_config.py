@@ -1,0 +1,175 @@
+"""Unit tests for JSON configuration validation and model building.
+
+The validator targets the pilot study's observed error classes: JSON
+syntax errors, sign errors in coordinates, unknown device types/classes,
+and malformed cuboids.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import (
+    ConfigError,
+    build_model,
+    load_model,
+    parse_config_text,
+    validate_config,
+)
+from repro.devices.base import DeviceKind
+from repro.lab.hein import build_hein_deck
+
+
+@pytest.fixture()
+def hein_config():
+    return build_hein_deck().config
+
+
+def errors_of(issues):
+    return [i for i in issues if i.severity == "error"]
+
+
+def warnings_of(issues):
+    return [i for i in issues if i.severity == "warning"]
+
+
+class TestParse:
+    def test_valid_json(self):
+        assert parse_config_text('{"devices": []}') == {"devices": []}
+
+    def test_syntax_error_reported_with_line(self):
+        with pytest.raises(ConfigError) as excinfo:
+            parse_config_text('{"devices": [,]}')
+        assert "JSON syntax error" in str(excinfo.value)
+
+    def test_non_object_top_level(self):
+        with pytest.raises(ConfigError, match="top level"):
+            parse_config_text("[1, 2, 3]")
+
+
+class TestValidateDevices:
+    def test_valid_hein_config_has_no_errors(self, hein_config):
+        assert errors_of(validate_config(hein_config)) == []
+
+    def test_missing_devices_list(self):
+        assert errors_of(validate_config({}))
+
+    def test_unknown_device_type(self, hein_config):
+        hein_config["devices"][0]["type"] = "teleporter"
+        issues = errors_of(validate_config(hein_config))
+        assert any("unknown device type" in i.message for i in issues)
+
+    def test_unknown_class_name(self, hein_config):
+        hein_config["devices"][1]["class"] = "MagicDoser"
+        issues = errors_of(validate_config(hein_config))
+        assert any("unknown device class" in i.message for i in issues)
+
+    def test_duplicate_device_names(self, hein_config):
+        hein_config["devices"].append(dict(hein_config["devices"][0]))
+        issues = errors_of(validate_config(hein_config))
+        assert any("duplicate device" in i.message for i in issues)
+
+    def test_robot_needs_frame(self, hein_config):
+        del hein_config["devices"][0]["frame"]
+        issues = errors_of(validate_config(hein_config))
+        assert any("coordinate frame" in i.message for i in issues)
+
+    def test_negative_threshold(self, hein_config):
+        hein_config["devices"][3]["threshold"] = -5
+        issues = errors_of(validate_config(hein_config))
+        assert any("threshold" in i.path for i in issues)
+
+    def test_bad_door_initial(self, hein_config):
+        hein_config["devices"][1]["door"]["initial"] = "ajar"
+        issues = errors_of(validate_config(hein_config))
+        assert any("door.initial" in i.path for i in issues)
+
+
+class TestValidateLocations:
+    def test_sign_error_warning(self, hein_config):
+        # The pilot-study error: "a negative sign instead of a positive
+        # sign in a location".
+        hein_config["locations"][0]["coords"]["ur3e"] = [0.3, -0.05, -0.12]
+        issues = validate_config(hein_config)
+        assert any("sign error" in i.message for i in warnings_of(issues))
+        assert errors_of(issues) == []  # warning, not blocking
+
+    def test_wrong_arity_coordinates(self, hein_config):
+        hein_config["locations"][0]["coords"]["ur3e"] = [0.3, -0.05]
+        issues = errors_of(validate_config(hein_config))
+        assert any("expected [x, y, z]" in i.message for i in issues)
+
+    def test_unknown_location_kind(self, hein_config):
+        hein_config["locations"][0]["kind"] = "nowhere"
+        issues = errors_of(validate_config(hein_config))
+        assert any("unknown location kind" in i.message for i in issues)
+
+    def test_duplicate_location_names(self, hein_config):
+        hein_config["locations"].append(dict(hein_config["locations"][0]))
+        issues = errors_of(validate_config(hein_config))
+        assert any("duplicate location" in i.message for i in issues)
+
+    def test_unknown_owner_is_warning(self, hein_config):
+        hein_config["locations"][4]["device"] = "mystery_box"
+        issues = validate_config(hein_config)
+        assert errors_of(issues) == []
+        assert any("mystery_box" in i.message for i in warnings_of(issues))
+
+
+class TestValidateObstacles:
+    def test_inverted_cuboid_flagged_as_sign_error(self, hein_config):
+        hein_config["obstacles"][1]["frames"]["ur3e"]["min"][0] = 5.0
+        issues = errors_of(validate_config(hein_config))
+        assert any("sign error" in i.message for i in issues)
+
+    def test_missing_corner(self, hein_config):
+        del hein_config["obstacles"][0]["frames"]["ur3e"]["max"]
+        issues = errors_of(validate_config(hein_config))
+        assert any("'min' and 'max'" in i.message for i in issues)
+
+
+class TestBuildModel:
+    def test_builds_hein_model(self, hein_config):
+        model = build_model(hein_config)
+        assert model.lab_name == "hein"
+        assert model.device("dosing_device").has_door
+        assert model.device("hotplate").threshold == 120.0
+        assert model.device("ur3e").kind is DeviceKind.ROBOT_ARM
+        assert model.reliable_container_tracking
+        assert "ur3e" in model.workspace_bounds
+        assert model.custom_rule_ids == ["C1", "C2", "C3", "C4"]
+
+    def test_interior_owner_resolution(self, hein_config):
+        model = build_model(hein_config)
+        assert model.interior_owner("dosing_interior") == "dosing_device"
+        assert model.interior_owner("grid_a1") is None
+        assert model.interior_owner(None) is None
+
+    def test_load_location_resolution(self, hein_config):
+        model = build_model(hein_config)
+        assert model.load_location("hotplate") == "hotplate_top"
+        assert model.load_location("syringe_pump") == "hotplate_top"
+        assert model.load_location("ur3e") is None
+
+    def test_obstacles_split_by_surface(self, hein_config):
+        model = build_model(hein_config)
+        surface_names = {c.name for c in model.surfaces_for_frame("ur3e")}
+        obstacle_names = {c.name for c in model.obstacles_for_frame("ur3e")}
+        assert "platform" in surface_names
+        assert "grid" in obstacle_names
+        assert not surface_names & obstacle_names
+
+    def test_build_rejects_invalid(self, hein_config):
+        hein_config["devices"][0]["type"] = "teleporter"
+        with pytest.raises(ConfigError):
+            build_model(hein_config)
+
+    def test_load_model_from_text_and_dict(self, hein_config):
+        from_dict = load_model(hein_config)
+        from_text = load_model(json.dumps(hein_config))
+        assert from_dict.lab_name == from_text.lab_name == "hein"
+
+    def test_load_model_from_file(self, hein_config, tmp_path):
+        path = tmp_path / "lab.json"
+        path.write_text(json.dumps(hein_config))
+        assert load_model(path).lab_name == "hein"

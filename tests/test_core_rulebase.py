@@ -1,0 +1,347 @@
+"""Unit tests for the rulebase, with a small synthetic lab model.
+
+Each rule is exercised in isolation: a minimal state + action that
+violates it, and a near-identical pair that does not.
+"""
+
+import pytest
+
+from repro.core.actions import ActionCall, ActionLabel
+from repro.core.model import DeviceModel, LocationModel, ObstacleModel, RabitLabModel
+from repro.core.rulebase import CheckContext, RuleScope, build_default_rulebase
+from repro.core.state import LabState
+from repro.devices.base import DeviceKind
+from repro.geometry.shapes import Cuboid
+
+
+def tiny_model(reliable: bool = True) -> RabitLabModel:
+    model = RabitLabModel("tiny")
+    model.reliable_container_tracking = reliable
+    model.add_device(
+        DeviceModel(
+            name="arm", kind=DeviceKind.ROBOT_ARM, class_name="RobotArmDevice",
+            frame="arm", gripper_clearance=0.025, held_drop=0.06,
+        )
+    )
+    model.add_device(
+        DeviceModel(
+            name="doser", kind=DeviceKind.DOSING_SYSTEM, class_name="SolidDosingDevice",
+            has_door=True, load_location="doser_in",
+        )
+    )
+    model.add_device(
+        DeviceModel(
+            name="plate", kind=DeviceKind.ACTION_DEVICE, class_name="Hotplate",
+            threshold=120.0, load_location="plate_top",
+        )
+    )
+    model.add_device(
+        DeviceModel(
+            name="spin", kind=DeviceKind.ACTION_DEVICE, class_name="Centrifuge",
+            threshold=6000.0, has_door=True, load_location="spin_slot",
+        )
+    )
+    model.add_device(
+        DeviceModel(
+            name="v1", kind=DeviceKind.CONTAINER, class_name="Vial",
+            capacity_solid_mg=10.0, capacity_liquid_ml=20.0,
+        )
+    )
+    model.add_location(LocationModel("slot", "grid_slot", device="grid"))
+    model.add_location(LocationModel("doser_in", "device_interior", device="doser"))
+    model.add_location(LocationModel("plate_top", "device_interior", device="plate"))
+    model.add_location(LocationModel("spin_slot", "device_interior", device="spin"))
+    model.add_obstacle(
+        ObstacleModel("grid", frames={"arm": Cuboid((0.2, -0.1, 0), (0.4, 0.1, 0.05), name="grid")})
+    )
+    model.add_obstacle(
+        ObstacleModel(
+            "platform",
+            frames={"arm": Cuboid((-1, -1, -0.02), (1, 1, 0.03), name="platform")},
+            surface=True,
+        )
+    )
+    model.custom_rule_ids = ["C1", "C2", "C3", "C4"]
+    return model
+
+
+def check(state, call, *, reliable=True, held=True, bounds=True, capacity=True):
+    model = tiny_model(reliable=reliable)
+    rulebase = build_default_rulebase(model.custom_rule_ids)
+    ctx = CheckContext(
+        state=state,
+        call=call,
+        model=model,
+        account_held_objects=held,
+        enforce_workspace_bounds=bounds,
+        enforce_capacity=capacity,
+    )
+    hit = rulebase.check_action(ctx)
+    return hit[0].rule_id if hit else None
+
+
+class TestRulebaseStructure:
+    def test_rule_counts(self):
+        rulebase = build_default_rulebase(["C1", "C2", "C3", "C4"])
+        assert len(rulebase.rules(RuleScope.GENERAL)) == 11
+        assert len(rulebase.rules(RuleScope.CUSTOM)) == 4
+        assert len(rulebase.rules(RuleScope.ACTION)) == 1
+
+    def test_custom_rules_opt_in(self):
+        rulebase = build_default_rulebase([])
+        assert len(rulebase.rules(RuleScope.CUSTOM)) == 0
+        rulebase = build_default_rulebase(["C3"])
+        assert [r.rule_id for r in rulebase.rules(RuleScope.CUSTOM)] == ["C3"]
+
+    def test_duplicate_rule_rejected(self):
+        rulebase = build_default_rulebase([])
+        with pytest.raises(ValueError, match="duplicate"):
+            rulebase.add(rulebase.get("G1"))
+
+    def test_descriptions_match_paper_wording(self):
+        rulebase = build_default_rulebase([])
+        assert "door is closed" in rulebase.get("G1").description
+        assert "predefined threshold" in rulebase.get("G11").description
+
+
+class TestG1DoorBeforeEntry:
+    def test_violation_when_closed(self):
+        state = LabState()
+        state.set("door_status", "doser", "closed")
+        call = ActionCall(ActionLabel.MOVE_ROBOT_INSIDE, "arm", robot="arm", location="doser_in")
+        assert check(state, call) == "G1"
+
+    def test_ok_when_open(self):
+        state = LabState()
+        state.set("door_status", "doser", "open")
+        call = ActionCall(ActionLabel.MOVE_ROBOT_INSIDE, "arm", robot="arm", location="doser_in")
+        assert check(state, call) is None
+
+    def test_doorless_interior_exempt(self):
+        call = ActionCall(ActionLabel.MOVE_ROBOT_INSIDE, "arm", robot="arm", location="plate_top")
+        assert check(LabState(), call) is None
+
+
+class TestG2CloseDoor:
+    def test_violation_with_robot_inside(self):
+        state = LabState()
+        state.set("robot_inside", "arm", "doser")
+        assert check(state, ActionCall(ActionLabel.CLOSE_DOOR, "doser")) == "G2"
+
+    def test_ok_when_empty(self):
+        state = LabState()
+        state.set("robot_inside", "arm", None)
+        assert check(state, ActionCall(ActionLabel.CLOSE_DOOR, "doser")) is None
+
+
+class TestG3Collisions:
+    def test_target_inside_obstacle(self):
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT, "arm", robot="arm", target=(0.3, 0.0, 0.02)
+        )
+        assert check(LabState(), call) == "G3"
+
+    def test_gripper_tip_probe_hits_surface(self):
+        # Target above the slab, but the gripper tip dips into it.
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT, "arm", robot="arm", target=(0.6, 0.5, 0.04)
+        )
+        assert check(LabState(), call) == "G3"
+
+    def test_clear_target_passes(self):
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT, "arm", robot="arm", target=(0.6, 0.5, 0.2)
+        )
+        assert check(LabState(), call) is None
+
+    def test_held_vial_probe_requires_flag(self):
+        state = LabState()
+        state.set("robot_holding", "arm", "v1")
+        # Vial tip (6 cm below) would dip into the platform slab.
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT, "arm", robot="arm", target=(0.6, 0.5, 0.08)
+        )
+        assert check(state, call, held=True) == "G3"
+        assert check(state, call, held=False) is None
+
+    def test_place_onto_occupied_location(self):
+        state = LabState()
+        state.set("robot_holding", "arm", "v1")
+        state.set("container_at", "v2", "slot")
+        call = ActionCall(
+            ActionLabel.PLACE_OBJECT, "arm", robot="arm", location="slot"
+        )
+        assert check(state, call) == "G3"
+
+    def test_move_to_occupied_location_allowed(self):
+        # Staging at an occupied slot is how every pick begins.
+        state = LabState()
+        state.set("container_at", "v2", "slot")
+        call = ActionCall(ActionLabel.MOVE_ROBOT, "arm", robot="arm", location="slot")
+        assert check(state, call) is None
+
+    def test_workspace_bounds_only_when_enforced(self):
+        model_bounds = Cuboid((-0.5, -0.5, 0.0), (0.5, 0.5, 0.5), name="ws")
+        state = LabState()
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT, "arm", robot="arm", target=(0.7, 0.0, 0.2)
+        )
+        model = tiny_model()
+        model.workspace_bounds["arm"] = model_bounds
+        rulebase = build_default_rulebase([])
+        from repro.core.rulebase import CheckContext
+
+        for enforce, expected in ((True, "G3"), (False, None)):
+            ctx = CheckContext(
+                state=state, call=call, model=model,
+                enforce_workspace_bounds=enforce,
+            )
+            hit = rulebase.check_action(ctx)
+            assert (hit[0].rule_id if hit else None) == expected
+
+
+class TestG4Pick:
+    def test_violation_when_already_holding(self):
+        state = LabState()
+        state.set("robot_holding", "arm", "v1")
+        call = ActionCall(ActionLabel.PICK_OBJECT, "arm", robot="arm", location="slot")
+        assert check(state, call) == "G4"
+
+    def test_applies_to_raw_close_gripper(self):
+        state = LabState()
+        state.set("robot_holding", "arm", "v1")
+        call = ActionCall(ActionLabel.CLOSE_GRIPPER, "arm", robot="arm")
+        assert check(state, call) == "G4"
+
+
+class TestG5G6Container:
+    def test_g5_requires_container_when_tracking_reliable(self):
+        call = ActionCall(ActionLabel.START_ACTION, "plate", value=60.0)
+        assert check(LabState(), call, reliable=True) == "G5"
+        # On unreliable-tracking labs the same situation passes silently.
+        assert check(LabState(), call, reliable=False) is None
+
+    def test_g6_empty_container(self):
+        state = LabState()
+        state.set("container_at", "v1", "plate_top")
+        state.set("container_solid", "v1", 0.0)
+        call = ActionCall(ActionLabel.START_ACTION, "plate", value=60.0)
+        assert check(state, call, reliable=True) == "G6"
+
+    def test_loaded_and_filled_passes(self):
+        state = LabState()
+        state.set("container_at", "v1", "plate_top")
+        state.set("container_solid", "v1", 5.0)
+        call = ActionCall(ActionLabel.START_ACTION, "plate", value=60.0)
+        assert check(state, call) is None
+
+
+class TestG7G8Transfer:
+    def _dosing_state(self, stopper="off", solid=0.0):
+        state = LabState()
+        state.set("container_at", "v1", "doser_in")
+        state.set("container_stopper", "v1", stopper)
+        state.set("container_solid", "v1", solid)
+        state.set("door_status", "doser", "closed")
+        return state
+
+    def test_g7_stopper_blocks_transfer(self):
+        call = ActionCall(ActionLabel.START_DOSING, "doser", quantity=5.0)
+        assert check(self._dosing_state(stopper="on"), call) == "G7"
+
+    def test_g8_capacity(self):
+        call = ActionCall(ActionLabel.START_DOSING, "doser", quantity=15.0)
+        assert check(self._dosing_state(), call, capacity=True) == "G8"
+        assert check(self._dosing_state(), call, capacity=False) is None
+
+    def test_g8_partial_fill_accounts_belief(self):
+        call = ActionCall(ActionLabel.START_DOSING, "doser", quantity=6.0)
+        assert check(self._dosing_state(solid=5.0), call) == "G8"
+        assert check(self._dosing_state(solid=3.0), call) is None
+
+
+class TestG9G10Doors:
+    def test_g9_door_must_be_closed_to_run(self):
+        state = LabState()
+        state.set("door_status", "doser", "open")
+        call = ActionCall(ActionLabel.START_DOSING, "doser", quantity=2.0)
+        assert check(state, call, reliable=False) == "G9"
+
+    def test_g10_no_open_while_running(self):
+        state = LabState()
+        state.set("device_active", "doser", True)
+        assert check(state, ActionCall(ActionLabel.OPEN_DOOR, "doser")) == "G10"
+        state.set("device_active", "doser", False)
+        assert check(state, ActionCall(ActionLabel.OPEN_DOOR, "doser")) is None
+
+
+class TestG11Threshold:
+    def test_over_threshold(self):
+        state = LabState()
+        state.set("container_at", "v1", "plate_top")
+        state.set("container_solid", "v1", 5.0)
+        call = ActionCall(ActionLabel.START_ACTION, "plate", value=200.0)
+        assert check(state, call) == "G11"
+
+    def test_set_value_also_guarded(self):
+        call = ActionCall(ActionLabel.SET_ACTION_VALUE, "plate", value=150.0)
+        assert check(LabState(), call) == "G11"
+
+    def test_at_threshold_passes(self):
+        call = ActionCall(ActionLabel.SET_ACTION_VALUE, "plate", value=120.0)
+        assert check(LabState(), call) is None
+
+
+class TestCustomRules:
+    def _holding_state(self, solid=5.0, liquid=5.0, stopper="on", red_dot="N"):
+        state = LabState()
+        state.set("robot_holding", "arm", "v1")
+        state.set("container_solid", "v1", solid)
+        state.set("container_liquid", "v1", liquid)
+        state.set("container_stopper", "v1", stopper)
+        state.set("red_dot", "spin", red_dot)
+        state.set("door_status", "spin", "open")
+        return state
+
+    def _place_call(self):
+        return ActionCall(
+            ActionLabel.PLACE_OBJECT, "arm", robot="arm", location="spin_slot"
+        )
+
+    def test_c1_liquid_needs_solid(self):
+        state = LabState()
+        state.set("container_at", "v1", "plate_top")
+        state.set("container_solid", "v1", 0.0)
+        call = ActionCall(ActionLabel.DOSE_LIQUID, "plate", quantity=2.0)
+        # C1 is registered for dosing systems; use the pump-like device.
+        call = ActionCall(ActionLabel.DOSE_LIQUID, "plate", quantity=2.0)
+        assert check(state, call) == "C1"
+
+    def test_c2_needs_both_phases(self):
+        assert check(self._holding_state(liquid=0.0), self._place_call()) == "C2"
+
+    def test_c3_red_dot_north(self):
+        assert check(self._holding_state(red_dot="S"), self._place_call()) == "C3"
+
+    def test_c4_stopper_on(self):
+        assert check(self._holding_state(stopper="off"), self._place_call()) == "C4"
+
+    def test_compliant_place_passes(self):
+        assert check(self._holding_state(), self._place_call()) is None
+
+    def test_custom_rules_ignore_non_centrifuge(self):
+        state = self._holding_state(liquid=0.0, stopper="off")
+        call = ActionCall(
+            ActionLabel.PLACE_OBJECT, "arm", robot="arm", location="plate_top"
+        )
+        assert check(state, call) is None
+
+
+class TestTablePreconditions:
+    def test_place_requires_holding(self):
+        call = ActionCall(ActionLabel.PLACE_OBJECT, "arm", robot="arm", location="slot")
+        assert check(LabState(), call) == "T2-place"
+
+    def test_raw_open_gripper_exempt(self):
+        call = ActionCall(ActionLabel.OPEN_GRIPPER, "arm", robot="arm", location="slot")
+        assert check(LabState(), call) is None

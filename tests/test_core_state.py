@@ -1,0 +1,110 @@
+"""Unit tests for RABIT's discrete state model."""
+
+import pytest
+
+from repro.core.state import LabState, OBSERVABLE_VARS, TRACKED_VARS
+
+
+class TestVariableSets:
+    def test_observable_and_tracked_are_disjoint(self):
+        assert not (OBSERVABLE_VARS & TRACKED_VARS)
+
+    def test_position_is_not_a_state_variable(self):
+        # Load-bearing for the evaluation: silent skips and mid-space
+        # collisions are invisible precisely because Cartesian position
+        # is not part of the discrete state (Table II).
+        assert "position" not in OBSERVABLE_VARS | TRACKED_VARS
+
+
+class TestGetSet:
+    def test_roundtrip(self):
+        state = LabState()
+        state.set("door_status", "doser", "open")
+        assert state.get("door_status", "doser") == "open"
+
+    def test_default_for_missing_key(self):
+        assert LabState().get("door_status", "ghost", "closed") == "closed"
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(KeyError, match="unknown state variable"):
+            LabState().set("temperature", "x", 1)
+        with pytest.raises(KeyError):
+            LabState().get("temperature", "x")
+
+    def test_keys_where(self):
+        state = LabState()
+        state.set("robot_inside", "a", "doser")
+        state.set("robot_inside", "b", "doser")
+        state.set("robot_inside", "c", None)
+        assert sorted(state.keys_where("robot_inside", "doser")) == ["a", "b"]
+
+    def test_vial_at(self):
+        state = LabState()
+        state.set("container_at", "v1", "slot")
+        state.set("container_at", "v2", None)
+        assert state.vial_at("slot") == "v1"
+        assert state.vial_at("elsewhere") is None
+
+
+class TestSnapshots:
+    def test_copy_is_independent(self):
+        a = LabState()
+        a.set("door_status", "d", "open")
+        b = a.copy()
+        b.set("door_status", "d", "closed")
+        assert a.get("door_status", "d") == "open"
+
+    def test_merge_observed_overrides_observables(self):
+        expected = LabState()
+        expected.set("door_status", "d", "closed")
+        expected.set("robot_holding", "arm", "v1")  # tracked
+        observed = LabState()
+        observed.set("door_status", "d", "open")
+        merged = expected.merge_observed(observed)
+        assert merged.get("door_status", "d") == "open"
+        assert merged.get("robot_holding", "arm") == "v1"  # carried forward
+
+    def test_merge_observed_keeps_unreported_observables(self):
+        expected = LabState()
+        expected.set("door_status", "d", "closed")
+        merged = expected.merge_observed(LabState())
+        assert merged.get("door_status", "d") == "closed"
+
+
+class TestDiff:
+    def test_no_mismatch_when_equal(self):
+        a = LabState()
+        a.set("door_status", "d", "open")
+        b = a.copy()
+        assert a.diff_observable(b) == []
+
+    def test_detects_door_mismatch(self):
+        expected = LabState()
+        expected.set("door_status", "d", "open")
+        actual = LabState()
+        actual.set("door_status", "d", "closed")
+        diff = expected.diff_observable(actual)
+        assert diff == [("door_status", "d", "open", "closed")]
+
+    def test_ignores_keys_missing_on_either_side(self):
+        expected = LabState()
+        expected.set("door_status", "d", "open")
+        actual = LabState()
+        actual.set("door_status", "other", "closed")
+        assert expected.diff_observable(actual) == []
+
+    def test_float_comparison_uses_tolerance(self):
+        expected = LabState()
+        expected.set("dispensed_mg", "doser", 5.0)
+        actual = LabState()
+        actual.set("dispensed_mg", "doser", 5.0 + 1e-9)
+        assert expected.diff_observable(actual) == []
+        actual.set("dispensed_mg", "doser", 5.5)
+        assert expected.diff_observable(actual) != []
+
+    def test_tracked_vars_never_diffed(self):
+        expected = LabState()
+        expected.set("robot_holding", "arm", "v1")
+        actual = LabState()
+        actual.set("robot_holding", "arm", None)
+        assert expected.diff_observable(actual) == []

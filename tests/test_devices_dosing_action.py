@@ -1,0 +1,223 @@
+"""Ground-truth tests for dosing systems and action devices."""
+
+import pytest
+
+from repro.devices.action_device import (
+    Centrifuge,
+    Decapper,
+    Hotplate,
+    Thermoshaker,
+    UltrasonicNozzle,
+    XRFStation,
+)
+from repro.devices.base import DoorState
+from repro.devices.container import Vial
+from repro.devices.dosing import SolidDosingDevice, SyringePump
+from repro.devices.locations import LocationKind
+from repro.devices.world import DamageSeverity, LabWorld
+from repro.geometry.shapes import Cuboid
+from repro.geometry.transforms import identity
+from repro.geometry.walls import Workspace
+
+
+@pytest.fixture()
+def world():
+    w = LabWorld("t", Workspace(bounds=Cuboid((-2, -2, -1), (2, 2, 2), name="room")))
+    w.register_frame("arm", identity())
+    w.locations.define(
+        "doser_in", LocationKind.DEVICE_INTERIOR, {"arm": [0, 0.4, 0.1]}, device="doser"
+    )
+    w.locations.define(
+        "plate_top", LocationKind.DEVICE_INTERIOR, {"arm": [0.3, 0, 0.15]}, device="plate"
+    )
+    w.locations.define(
+        "spin_slot", LocationKind.DEVICE_INTERIOR, {"arm": [-0.3, 0, 0.12]}, device="spin"
+    )
+    return w
+
+
+class TestSolidDosingDevice:
+    def test_dose_into_open_vial(self, world):
+        doser = SolidDosingDevice("doser", world)
+        world.add_device(doser)
+        world.add_vial(Vial("v", stoppered=False), at_location="doser_in")
+        doser.run_action(delay=3, quantity=5)
+        assert world.vial("v").contents.solid_mg == pytest.approx(5.0)
+        assert not world.damage_log
+        assert doser.status()["dispensed_mg"] == pytest.approx(5.0)
+
+    def test_dose_with_no_vial_spills(self, world):
+        doser = world.add_device(SolidDosingDevice("doser", world))
+        doser.dose_solid(5.0)
+        assert any(d.kind == "solid_spill" for d in world.damage_log)
+        assert world.worst_damage().severity is DamageSeverity.LOW
+
+    def test_overdose_records_spill(self, world):
+        doser = world.add_device(SolidDosingDevice("doser", world))
+        world.add_vial(Vial("v", capacity_solid_mg=10.0, stoppered=False), at_location="doser_in")
+        doser.dose_solid(15.0)
+        assert world.vial("v").contents.solid_mg == pytest.approx(10.0)
+        assert any(d.kind == "solid_spill" for d in world.damage_log)
+
+    def test_set_door_validates_property(self, world):
+        doser = world.add_device(SolidDosingDevice("doser", world))
+        with pytest.raises(ValueError, match="door property"):
+            doser.set_door("angle", "open")
+
+    def test_stop_action_deactivates(self, world):
+        doser = world.add_device(SolidDosingDevice("doser", world))
+        world.add_vial(Vial("v", stoppered=False), at_location="doser_in")
+        doser.run_action(quantity=2)
+        assert doser.active
+        doser.stop_action()
+        assert not doser.active
+
+    def test_status_reports_door_and_activity(self, world):
+        doser = world.add_device(
+            SolidDosingDevice("doser", world, door_initial=DoorState.CLOSED)
+        )
+        report = doser.status()
+        assert report["door"] == "closed"
+        assert report["active"] is False
+
+
+class TestSyringePump:
+    def test_dose_into_vial_with_solid(self, world):
+        pump = world.add_device(SyringePump("pump", world, dispense_location="plate_top"))
+        vial = Vial("v", stoppered=False)
+        vial.contents.solid_mg = 5.0
+        world.add_vial(vial, at_location="plate_top")
+        pump.dose_initial_solvent(4.0)
+        assert vial.contents.liquid_ml == pytest.approx(4.0)
+        assert not world.damage_log
+
+    def test_dose_onto_empty_location_spills(self, world):
+        pump = world.add_device(SyringePump("pump", world, dispense_location="plate_top"))
+        pump.dose_solvent(3.0)
+        assert any(d.kind == "solvent_spill" for d in world.damage_log)
+
+    def test_dose_into_solidless_vial_wastes_chemicals(self, world):
+        pump = world.add_device(SyringePump("pump", world, dispense_location="plate_top"))
+        world.add_vial(Vial("v", stoppered=False), at_location="plate_top")
+        pump.dose_solvent(3.0)
+        assert any(d.kind == "wasted_chemicals" for d in world.damage_log)
+
+
+class TestHotplateAndShaker:
+    def test_clean_run_with_loaded_vial(self, world):
+        plate = world.add_device(Hotplate("plate", world, threshold=120.0))
+        vial = Vial("v", stoppered=False)
+        vial.contents.solid_mg = 5.0
+        world.add_vial(vial, at_location="plate_top")
+        plate.stir_solution(60.0)
+        assert plate.active
+        assert plate.action_value == 60.0
+        assert not world.damage_log
+
+    def test_empty_run_recorded(self, world):
+        plate = world.add_device(Hotplate("plate", world))
+        plate.stir_solution(60.0)
+        assert any(d.kind == "empty_run" for d in world.damage_log)
+
+    def test_empty_container_recorded(self, world):
+        plate = world.add_device(Hotplate("plate", world))
+        world.add_vial(Vial("v", stoppered=False), at_location="plate_top")
+        plate.stir_solution(60.0)
+        assert any(d.kind == "empty_container_run" for d in world.damage_log)
+
+    def test_overheat_is_high_severity(self, world):
+        plate = world.add_device(Hotplate("plate", world, threshold=120.0))
+        vial = Vial("v", stoppered=False)
+        vial.contents.solid_mg = 5.0
+        world.add_vial(vial, at_location="plate_top")
+        plate.stir_solution(200.0)
+        assert any(d.kind == "threshold_exceeded" for d in world.damage_log)
+        assert world.worst_damage().severity is DamageSeverity.HIGH
+
+    def test_shaker_shake_command(self, world):
+        shaker = world.add_device(Thermoshaker("shaker", world, threshold=1500.0))
+        shaker.shake(800.0)
+        assert shaker.active and shaker.action_value == 800.0
+
+
+class TestCentrifuge:
+    def _loaded_centrifuge(self, world, solid=5.0, liquid=5.0, stoppered=True):
+        spin = world.add_device(Centrifuge("spin", world))
+        vial = Vial("v", stoppered=stoppered)
+        vial.contents.solid_mg = solid
+        vial.contents.liquid_ml = liquid
+        world.add_vial(vial, at_location="spin_slot")
+        return spin, vial
+
+    def test_clean_spin(self, world):
+        spin, _ = self._loaded_centrifuge(world)
+        spin.close_door()
+        spin.start_action(3000.0)
+        assert not world.damage_log
+
+    def test_open_lid_spin_is_high_severity(self, world):
+        spin, _ = self._loaded_centrifuge(world)
+        spin.start_action(3000.0)  # lid open (initial state)
+        assert any(d.kind == "open_lid_spin" for d in world.damage_log)
+
+    def test_unstoppered_vial_sprays(self, world):
+        spin, _ = self._loaded_centrifuge(world, stoppered=False)
+        spin.close_door()
+        spin.start_action(3000.0)
+        assert any(d.kind == "centrifuge_spray" for d in world.damage_log)
+
+    def test_single_phase_imbalance(self, world):
+        spin, _ = self._loaded_centrifuge(world, liquid=0.0)
+        spin.close_door()
+        spin.start_action(3000.0)
+        assert any(d.kind == "rotor_imbalance" for d in world.damage_log)
+
+    def test_rotor_indexing(self, world):
+        spin = world.add_device(Centrifuge("spin", world))
+        spin.rotate_rotor("E")
+        assert spin.red_dot == "E"
+        assert spin.status()["red_dot"] == "E"
+        with pytest.raises(ValueError, match="compass"):
+            spin.rotate_rotor("NE")
+
+
+class TestOtherActionDevices:
+    def test_decapper_decap_and_cap(self, world):
+        world.locations.define(
+            "decap_slot", LocationKind.DEVICE_INTERIOR, {"arm": [0.2, 0.2, 0.1]},
+            device="dc",
+        )
+        dc = world.add_device(Decapper("dc", world))
+        vial = world.add_vial(Vial("v", stoppered=True), at_location="decap_slot")
+        dc.decap()
+        assert not vial.stoppered
+        dc.cap()
+        assert vial.stoppered
+
+    def test_decapper_without_vial_is_noop(self, world):
+        dc = world.add_device(Decapper("dc", world))
+        dc.decap()
+        assert not world.damage_log
+
+    def test_nozzle_does_not_need_container(self, world):
+        nozzle = world.add_device(UltrasonicNozzle("n", world, threshold=50.0))
+        nozzle.start_action(30.0)
+        assert not world.damage_log
+        nozzle.start_action(80.0)
+        assert any(d.kind == "threshold_exceeded" for d in world.damage_log)
+
+    def test_xrf_open_shutter_exposure(self, world):
+        xrf = world.add_device(XRFStation("x", world))
+        xrf.open_door()
+        xrf.start_action(10.0)
+        assert any(d.kind == "radiation_exposure" for d in world.damage_log)
+
+    def test_xrf_closed_shutter_is_safe(self, world):
+        xrf = world.add_device(XRFStation("x", world))
+        xrf.start_action(10.0)
+        assert not world.damage_log
+
+    def test_door_on_doorless_device_raises(self, world):
+        plate = world.add_device(Hotplate("plate", world))
+        with pytest.raises(AttributeError, match="no door"):
+            plate.open_door()

@@ -1,0 +1,186 @@
+"""Ground-truth physics tests for the robot arm device.
+
+These exercise the behaviours the evaluation depends on: door crashes,
+protective stops, held-vial crushing, silent skips, grasp/release, and
+the deliberately limited status report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.base import DoorState
+from repro.devices.container import Vial
+from repro.devices.dosing import SolidDosingDevice
+from repro.devices.locations import LocationKind
+from repro.devices.robot import GripperState, RobotArmDevice
+from repro.devices.world import DamageSeverity, LabWorld
+from repro.geometry.shapes import Cuboid
+from repro.geometry.transforms import identity
+from repro.geometry.walls import Workspace
+from repro.kinematics.profiles import VIPERX_300
+
+
+@pytest.fixture()
+def world():
+    w = LabWorld(
+        "t", Workspace(bounds=Cuboid((-1, -1, -0.05), (1.5, 0.62, 1.0), name="room"))
+    )
+    w.register_frame("viperx", identity())
+    w.add_surface(Cuboid((-0.6, -0.6, -0.02), (1.4, 0.6, 0.03), name="platform"))
+    w.locations.define("slot", LocationKind.GRID_SLOT, {"viperx": [0.44, 0.0, 0.12]}, device="grid")
+    w.locations.define("slot_safe", LocationKind.FREE, {"viperx": [0.44, 0.0, 0.25]})
+    w.locations.define(
+        "doser_in", LocationKind.DEVICE_INTERIOR, {"viperx": [0.15, 0.45, 0.10]},
+        device="doser",
+    )
+    w.locations.define(
+        "doser_approach", LocationKind.DEVICE_APPROACH, {"viperx": [0.15, 0.33, 0.19]},
+        device="doser",
+    )
+    return w
+
+
+@pytest.fixture()
+def arm(world):
+    return world.add_device(RobotArmDevice("viperx", VIPERX_300, world))
+
+
+@pytest.fixture()
+def doser(world):
+    return world.add_device(
+        SolidDosingDevice("doser", world, door_initial=DoorState.CLOSED),
+        footprint=Cuboid((0.05, 0.38, 0.0), (0.25, 0.58, 0.30), name="doser"),
+    )
+
+
+class TestBasicMoves:
+    def test_move_to_named_location(self, arm, world):
+        arm.move_to_location("slot_safe")
+        assert np.allclose(arm.ee_position_own_frame(), [0.44, 0.0, 0.25], atol=0.005)
+        assert not arm.stalled
+
+    def test_move_to_raw_coordinates(self, arm):
+        arm.move_to_location([0.3, 0.1, 0.2])
+        assert np.allclose(arm.ee_position_own_frame(), [0.3, 0.1, 0.2], atol=0.005)
+
+    def test_home_and_sleep_poses(self, arm):
+        arm.go_to_sleep_pose()
+        assert np.allclose(arm.kinematics.q, VIPERX_300.sleep_q)
+        arm.go_to_home_pose()
+        assert np.allclose(arm.kinematics.q, VIPERX_300.home_q)
+
+    def test_silent_skip_on_unreachable(self, arm, world):
+        before = arm.ee_position_own_frame().copy()
+        arm.move_to_location([0.62, -0.38, 0.35])  # beyond reach
+        assert np.allclose(arm.ee_position_own_frame(), before)
+        assert not world.damage_log  # nothing happened, nothing broke
+
+    def test_status_hides_holding(self, arm):
+        report = arm.status()
+        assert "position" in report and "gripper" in report
+        assert "holding" not in report
+        assert "stalled" not in report
+
+
+class TestDoorPhysics:
+    def test_entering_closed_door_crashes(self, arm, doser, world):
+        arm.move_to_location("doser_approach")
+        arm.move_to_location("doser_in")
+        assert arm.stalled
+        assert any(d.kind == "door_crash" for d in world.damage_log)
+        assert world.worst_damage().severity is DamageSeverity.HIGH
+
+    def test_entering_open_door_is_clean(self, arm, doser, world):
+        doser.open_door()
+        arm.move_to_location("doser_approach")
+        arm.move_to_location("doser_in")
+        assert not arm.stalled
+        assert not world.damage_log
+        assert world.robot_inside("viperx") == "doser"
+
+    def test_exit_through_closed_door_crashes(self, arm, doser, world):
+        doser.open_door()
+        arm.move_to_location("doser_approach")
+        arm.move_to_location("doser_in")
+        # Force the door shut around the arm (jam the interlock aside).
+        doser.door.set_state(DoorState.CLOSED)
+        arm.move_to_location("doser_approach")
+        assert any(d.kind == "door_crash" for d in world.damage_log)
+
+    def test_close_door_on_arm_inside_is_blocked_and_damages(self, arm, doser, world):
+        doser.open_door()
+        arm.move_to_location("doser_approach")
+        arm.move_to_location("doser_in")
+        doser.close_door()
+        assert any(d.kind == "door_closed_on_arm" for d in world.damage_log)
+        assert doser.door.is_open  # blocked by the arm
+
+
+class TestCollisions:
+    def test_deep_target_hits_platform(self, arm, world):
+        arm.move_to_location([0.44, 0.0, 0.01])
+        assert arm.stalled
+        assert any(d.kind == "arm_collision" for d in world.damage_log)
+
+    def test_wall_crossing_recorded(self, arm, world):
+        # Narrow the room so a reachable target sits beyond the y wall.
+        world.workspace.bounds = Cuboid((-1, -1, -0.05), (1.5, 0.55, 1.0), name="room")
+        arm.move_to_location([0.0, 0.60, 0.20])
+        assert arm.stalled
+        assert any("wall" in d.description for d in world.damage_log)
+
+
+class TestGrasping:
+    def test_pick_and_place_cycle(self, arm, world):
+        vial = world.add_vial(Vial("v", stoppered=False), at_location="slot")
+        arm.move_to_location("slot_safe")
+        arm.pick_up_vial("slot")
+        assert arm.holding == "v"
+        assert world.occupant("slot") is None
+        arm.move_to_location("slot_safe")
+        arm.place_vial("slot")
+        assert arm.holding is None
+        assert world.occupant("slot") == "v"
+        assert not vial.broken
+
+    def test_close_gripper_away_from_vial_grabs_nothing(self, arm, world):
+        world.add_vial(Vial("v"), at_location="slot")
+        arm.move_to_location("slot_safe")  # 13 cm above the vial
+        arm.close_gripper()
+        assert arm.holding is None
+
+    def test_release_midair_shatters_vial(self, arm, world):
+        world.add_vial(Vial("v"), at_location="slot")
+        arm.move_to_location("slot_safe")
+        arm.pick_up_vial("slot")
+        arm.move_to_location([0.3, -0.3, 0.4])  # nowhere near a location
+        arm.open_gripper()
+        assert world.vial("v").broken
+        assert any(d.kind == "vial_dropped" for d in world.damage_log)
+
+    def test_gripper_state_tracks_commands(self, arm):
+        assert arm.gripper is GripperState.OPEN
+        arm.close_gripper()
+        assert arm.gripper is GripperState.CLOSED
+        arm.open_gripper()
+        assert arm.gripper is GripperState.OPEN
+
+
+class TestHeldVialPhysics:
+    def test_low_carry_crushes_vial_but_arm_continues(self, arm, world):
+        world.add_vial(Vial("v"), at_location="slot")
+        world.add_device(
+            SolidDosingDevice("doser", world, door_initial=DoorState.OPEN),
+            footprint=Cuboid((0.05, 0.38, 0.0), (0.25, 0.58, 0.30), name="doser"),
+        )
+        arm.move_to_location("slot_safe")
+        arm.pick_up_vial("slot")
+        assert arm.holding == "v"
+        arm.move_to_location("slot_safe")
+        # Descend to z=0.08: the vial tip (6 cm below) enters the platform
+        # slab; the bare gripper tip (2.5 cm below) clears it.
+        arm.move_to_location([0.44, 0.0, 0.08])
+        assert arm.holding is None
+        assert world.vial("v").broken
+        assert any(d.kind == "vial_crushed" for d in world.damage_log)
+        assert not arm.stalled  # the arm itself never contacted anything

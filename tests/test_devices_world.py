@@ -1,0 +1,165 @@
+"""Unit tests for locations and the ground-truth LabWorld."""
+
+import pytest
+
+from repro.devices.base import Device
+from repro.devices.container import Vial
+from repro.devices.locations import Location, LocationKind, LocationTable
+from repro.devices.world import DamageEvent, DamageSeverity, LabWorld
+from repro.geometry.shapes import Cuboid
+from repro.geometry.transforms import identity, translation
+from repro.geometry.walls import Workspace
+
+
+def make_world() -> LabWorld:
+    world = LabWorld("t", Workspace(bounds=Cuboid((-2, -2, -1), (2, 2, 2), name="room")))
+    world.register_frame("arm", identity())
+    return world
+
+
+class TestLocationTable:
+    def test_define_and_get(self):
+        table = LocationTable()
+        loc = table.define("slot", LocationKind.GRID_SLOT, {"arm": [1, 2, 3]})
+        assert table.get("slot") is loc
+        assert loc.coord_for("arm") == (1.0, 2.0, 3.0)
+
+    def test_duplicate_name_rejected(self):
+        table = LocationTable()
+        table.define("a", LocationKind.FREE, {"arm": [0, 0, 0]})
+        with pytest.raises(ValueError, match="duplicate"):
+            table.define("a", LocationKind.FREE, {"arm": [0, 0, 0]})
+
+    def test_unknown_name_raises_with_candidates(self):
+        table = LocationTable()
+        table.define("a", LocationKind.FREE, {"arm": [0, 0, 0]})
+        with pytest.raises(KeyError, match="unknown location"):
+            table.get("b")
+
+    def test_unknown_frame_raises(self):
+        table = LocationTable()
+        loc = table.define("a", LocationKind.FREE, {"arm": [0, 0, 0]})
+        with pytest.raises(KeyError, match="no coordinates in frame"):
+            loc.coord_for("other")
+
+    def test_set_coord_mutation(self):
+        # The Bug D edit surface: coordinates are mutable per frame.
+        table = LocationTable()
+        loc = table.define("p", LocationKind.DEVICE_INTERIOR, {"arm": [0.1, 0.2, 0.10]})
+        loc.set_coord("arm", [0.1, 0.2, 0.08])
+        assert loc.coord_for("arm")[2] == pytest.approx(0.08)
+
+    def test_interiors_of(self):
+        table = LocationTable()
+        table.define("in1", LocationKind.DEVICE_INTERIOR, {"arm": [0, 0, 0]}, device="d")
+        table.define("ap", LocationKind.DEVICE_APPROACH, {"arm": [0, 0, 0]}, device="d")
+        table.define("in2", LocationKind.DEVICE_INTERIOR, {"arm": [1, 0, 0]}, device="e")
+        names = [l.name for l in table.interiors_of("d")]
+        assert names == ["in1"]
+
+
+class TestLabWorldRegistry:
+    def test_duplicate_device_rejected(self):
+        world = make_world()
+        world.add_device(Device("x"))
+        with pytest.raises(ValueError, match="duplicate"):
+            world.add_device(Device("x"))
+
+    def test_footprint_attached_and_named(self):
+        world = make_world()
+        device = world.add_device(Device("x"), footprint=Cuboid((0, 0, 0), (1, 1, 1)))
+        assert device.footprint.name == "x"
+        assert world.footprint("x") is not None
+
+    def test_footprints_exclude(self):
+        world = make_world()
+        world.add_device(Device("a"), footprint=Cuboid((0, 0, 0), (1, 1, 1)))
+        world.add_device(Device("b"), footprint=Cuboid((1, 1, 1), (2, 2, 2)))
+        names = {box.name for box in world.footprints(exclude=["a"])}
+        assert names == {"b"}
+
+    def test_to_world_uses_registered_frame(self):
+        world = make_world()
+        world.register_frame("arm2", translation([1, 0, 0]))
+        assert world.to_world([0, 0, 0], "arm2") == (1.0, 0.0, 0.0)
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            make_world().device("ghost")
+
+
+class TestOccupancy:
+    def test_place_and_remove(self):
+        world = make_world()
+        world.locations.define("slot", LocationKind.GRID_SLOT, {"arm": [0, 0, 0.1]})
+        vial = world.add_vial(Vial("v"), at_location="slot")
+        assert world.occupant("slot") == "v"
+        assert vial.resting_at == "slot"
+        world.remove_vial("v")
+        assert world.occupant("slot") is None
+        assert vial.resting_at is None
+
+    def test_moving_vial_frees_old_slot(self):
+        world = make_world()
+        world.locations.define("a", LocationKind.GRID_SLOT, {"arm": [0, 0, 0.1]})
+        world.locations.define("b", LocationKind.GRID_SLOT, {"arm": [0.1, 0, 0.1]})
+        world.add_vial(Vial("v"), at_location="a")
+        world.place_vial("v", "b")
+        assert world.occupant("a") is None
+        assert world.occupant("b") == "v"
+
+    def test_forced_double_occupancy_breaks_glassware(self):
+        # The §I footnote scenario: a new vial dropped onto the
+        # uncollected one.
+        world = make_world()
+        world.locations.define("slot", LocationKind.DEVICE_INTERIOR, {"arm": [0, 0, 0.1]}, device="d")
+        world.add_vial(Vial("old"), at_location="slot")
+        world.add_vial(Vial("new"))
+        world.place_vial("new", "slot")
+        assert world.vial("old").broken
+        assert any(d.kind == "vial_collision" for d in world.damage_log)
+        assert world.worst_damage().severity is DamageSeverity.MEDIUM_LOW
+
+    def test_vial_inside_device(self):
+        world = make_world()
+        world.locations.define("in", LocationKind.DEVICE_INTERIOR, {"arm": [0, 0, 0.1]}, device="doser")
+        world.add_vial(Vial("v"), at_location="in")
+        found = world.vial_inside_device("doser")
+        assert found is not None and found.name == "v"
+        assert world.vial_inside_device("other") is None
+
+
+class TestRobotContainment:
+    def test_entered_and_left(self):
+        world = make_world()
+        world.robot_entered("arm", "doser")
+        assert world.robot_inside("arm") == "doser"
+        assert world.robots_inside("doser") == ("arm",)
+        world.robot_left("arm")
+        assert world.robot_inside("arm") is None
+        assert world.robots_inside("doser") == ()
+
+
+class TestDamageLog:
+    def test_worst_damage_by_rank(self):
+        world = make_world()
+        world.record_damage(DamageEvent(DamageSeverity.LOW, "spill", "x"))
+        world.record_damage(DamageEvent(DamageSeverity.HIGH, "crash", "y"))
+        world.record_damage(DamageEvent(DamageSeverity.MEDIUM_LOW, "drop", "z"))
+        assert world.worst_damage().kind == "crash"
+
+    def test_clear_damage(self):
+        world = make_world()
+        world.record_damage(DamageEvent(DamageSeverity.LOW, "spill", "x"))
+        world.clear_damage()
+        assert world.damage_log == ()
+        assert world.worst_damage() is None
+
+    def test_severity_ranks_ordered(self):
+        ranks = [
+            DamageSeverity.LOW.rank,
+            DamageSeverity.MEDIUM_LOW.rank,
+            DamageSeverity.MEDIUM_HIGH.rank,
+            DamageSeverity.HIGH.rank,
+        ]
+        assert ranks == sorted(ranks) == [0, 1, 2, 3]

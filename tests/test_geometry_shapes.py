@@ -1,0 +1,100 @@
+"""Unit tests for repro.geometry.shapes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.shapes import Cuboid, bounding_cuboid
+
+
+class TestCuboidConstruction:
+    def test_corners_ordered(self):
+        with pytest.raises(ValueError, match="min corner"):
+            Cuboid((1, 0, 0), (0, 1, 1), name="bad")
+
+    def test_from_center(self):
+        box = Cuboid.from_center([0.5, 0.5, 0.5], [1, 1, 1])
+        assert np.allclose(box.lo, [0, 0, 0])
+        assert np.allclose(box.hi, [1, 1, 1])
+
+    def test_degenerate_slab_allowed(self):
+        box = Cuboid((0, 0, 0), (1, 1, 0), name="slab")
+        assert box.volume == 0.0
+        assert box.contains([0.5, 0.5, 0.0])
+
+    def test_accessors(self):
+        box = Cuboid((0, 0, 0), (2, 4, 6))
+        assert np.allclose(box.center, [1, 2, 3])
+        assert np.allclose(box.size, [2, 4, 6])
+        assert box.volume == pytest.approx(48.0)
+
+
+class TestCuboidQueries:
+    def test_contains_interior_and_boundary(self):
+        box = Cuboid((0, 0, 0), (1, 1, 1))
+        assert box.contains([0.5, 0.5, 0.5])
+        assert box.contains([1.0, 1.0, 1.0])  # boundary inclusive
+        assert not box.contains([1.001, 0.5, 0.5])
+
+    def test_contains_with_tolerance(self):
+        box = Cuboid((0, 0, 0), (1, 1, 1))
+        assert box.contains([1.05, 0.5, 0.5], tol=0.1)
+        assert not box.contains([1.2, 0.5, 0.5], tol=0.1)
+
+    def test_closest_point_inside_is_identity(self):
+        box = Cuboid((0, 0, 0), (1, 1, 1))
+        assert np.allclose(box.closest_point([0.3, 0.7, 0.5]), [0.3, 0.7, 0.5])
+
+    def test_closest_point_clamps(self):
+        box = Cuboid((0, 0, 0), (1, 1, 1))
+        assert np.allclose(box.closest_point([2, -1, 0.5]), [1, 0, 0.5])
+
+    def test_distance_to_point(self):
+        box = Cuboid((0, 0, 0), (1, 1, 1))
+        assert box.distance_to_point([0.5, 0.5, 0.5]) == 0.0
+        assert box.distance_to_point([2, 0.5, 0.5]) == pytest.approx(1.0)
+        assert box.distance_to_point([2, 2, 1]) == pytest.approx(np.sqrt(2))
+
+    def test_corners_count_and_extremes(self):
+        box = Cuboid((0, 0, 0), (1, 2, 3))
+        corners = box.corners()
+        assert corners.shape == (8, 3)
+        assert np.allclose(corners.min(axis=0), [0, 0, 0])
+        assert np.allclose(corners.max(axis=0), [1, 2, 3])
+
+
+class TestCuboidOperations:
+    def test_inflated_grows_every_face(self):
+        box = Cuboid((0, 0, 0), (1, 1, 1), name="d")
+        grown = box.inflated(0.1)
+        assert np.allclose(grown.lo, [-0.1] * 3)
+        assert np.allclose(grown.hi, [1.1] * 3)
+        assert grown.name == "d"
+
+    def test_inflated_negative_margin_shrinks(self):
+        box = Cuboid((0, 0, 0), (1, 1, 1))
+        small = box.inflated(-0.25)
+        assert np.allclose(small.size, [0.5] * 3)
+
+    def test_inflated_rejects_inversion(self):
+        box = Cuboid((0, 0, 0), (1, 1, 1))
+        with pytest.raises(ValueError, match="invert"):
+            box.inflated(-0.6)
+
+    def test_translated(self):
+        box = Cuboid((0, 0, 0), (1, 1, 1)).translated([1, 2, 3])
+        assert np.allclose(box.lo, [1, 2, 3])
+        assert np.allclose(box.hi, [2, 3, 4])
+
+    def test_renamed(self):
+        assert Cuboid((0, 0, 0), (1, 1, 1), name="a").renamed("b").name == "b"
+
+
+class TestBoundingCuboid:
+    def test_bounds_points(self):
+        box = bounding_cuboid([[0, 0, 0], [1, -1, 2], [0.5, 3, -0.5]])
+        assert np.allclose(box.lo, [0, -1, -0.5])
+        assert np.allclose(box.hi, [1, 3, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            bounding_cuboid([])

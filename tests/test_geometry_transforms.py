@@ -1,0 +1,129 @@
+"""Unit tests for repro.geometry.transforms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import (
+    FrameRegistry,
+    Transform,
+    estimate_rigid_transform,
+    identity,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+    translation,
+)
+
+
+class TestTransform:
+    def test_identity_maps_points_unchanged(self):
+        p = [0.3, -0.2, 0.9]
+        assert np.allclose(identity().apply(p), p)
+
+    def test_translation(self):
+        t = translation([1, 2, 3])
+        assert np.allclose(t.apply([0, 0, 0]), [1, 2, 3])
+        assert np.allclose(t.translation, [1, 2, 3])
+
+    def test_rotation_z_quarter_turn(self):
+        r = rotation_z(math.pi / 2)
+        assert np.allclose(r.apply([1, 0, 0]), [0, 1, 0], atol=1e-12)
+
+    def test_rotation_x_quarter_turn(self):
+        r = rotation_x(math.pi / 2)
+        assert np.allclose(r.apply([0, 1, 0]), [0, 0, 1], atol=1e-12)
+
+    def test_rotation_y_quarter_turn(self):
+        r = rotation_y(math.pi / 2)
+        assert np.allclose(r.apply([0, 0, 1]), [1, 0, 0], atol=1e-12)
+
+    def test_compose_order(self):
+        # compose applies the right operand first.
+        t = translation([1, 0, 0])
+        r = rotation_z(math.pi / 2)
+        p = (r @ t).apply([0, 0, 0])  # translate to (1,0,0), then rotate
+        assert np.allclose(p, [0, 1, 0], atol=1e-12)
+
+    def test_inverse_roundtrip(self):
+        t = translation([0.5, -1.0, 2.0]) @ rotation_z(0.7) @ rotation_x(-0.3)
+        p = [0.1, 0.2, 0.3]
+        assert np.allclose(t.inverse().apply(t.apply(p)), p, atol=1e-12)
+
+    def test_apply_many_matches_apply(self):
+        t = translation([1, 2, 3]) @ rotation_y(0.5)
+        pts = np.array([[0, 0, 0], [1, 1, 1], [-0.5, 0.25, 2.0]])
+        batch = t.apply_many(pts)
+        for row, p in zip(batch, pts):
+            assert np.allclose(row, t.apply(p))
+
+    def test_matrix_is_readonly(self):
+        t = translation([1, 0, 0])
+        with pytest.raises(ValueError):
+            t.matrix[0, 3] = 99.0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="4x4"):
+            Transform(np.eye(3))
+
+    def test_is_close(self):
+        assert identity().is_close(rotation_z(0.0))
+        assert not identity().is_close(rotation_z(0.1))
+
+
+class TestFrameRegistry:
+    def test_world_frame_is_identity(self):
+        reg = FrameRegistry()
+        assert reg.to_world("world").is_close(identity())
+
+    def test_register_and_map(self):
+        reg = FrameRegistry()
+        reg.register("arm", translation([1.0, 0.0, 0.0]))
+        assert np.allclose(reg.map_point([0, 0, 0], "arm", "world"), [1, 0, 0])
+        assert np.allclose(reg.map_point([1, 0, 0], "world", "arm"), [0, 0, 0])
+
+    def test_transform_between_two_arms(self):
+        reg = FrameRegistry()
+        reg.register("a", translation([1, 0, 0]))
+        reg.register("b", translation([0, 2, 0]))
+        # A point at a's origin is at (1, -2, 0) in b's frame.
+        assert np.allclose(reg.map_point([0, 0, 0], "a", "b"), [1, -2, 0])
+
+    def test_unknown_frame_raises(self):
+        with pytest.raises(KeyError, match="unknown frame"):
+            FrameRegistry().to_world("nope")
+
+    def test_cannot_reregister_world(self):
+        with pytest.raises(ValueError):
+            FrameRegistry().register("world", identity())
+
+
+class TestEstimateRigidTransform:
+    def test_recovers_exact_transform(self):
+        truth = translation([0.3, -0.1, 0.2]) @ rotation_z(0.8) @ rotation_x(0.2)
+        src = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1], [1, 1, 1], [0.3, -0.2, 0.7]]
+        )
+        dst = [truth.apply(p) for p in src]
+        fitted = estimate_rigid_transform(src, dst)
+        assert fitted.is_close(truth, atol=1e-9)
+
+    def test_rotation_stays_proper(self):
+        # Even with noisy correspondences, the fit must be a rotation
+        # (determinant +1), never a reflection.
+        rng = np.random.default_rng(3)
+        src = rng.uniform(-1, 1, size=(10, 3))
+        dst = src[:, [0, 1, 2]] + rng.normal(0, 0.1, size=(10, 3))
+        fitted = estimate_rigid_transform(src, dst)
+        assert np.linalg.det(fitted.rotation) == pytest.approx(1.0, abs=1e-9)
+
+    def test_requires_three_points(self):
+        with pytest.raises(ValueError, match="at least three"):
+            estimate_rigid_transform([[0, 0, 0], [1, 1, 1]], [[0, 0, 0], [1, 1, 1]])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            estimate_rigid_transform(
+                [[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 0, 0], [1, 0, 0]]
+            )

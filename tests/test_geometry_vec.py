@@ -1,0 +1,73 @@
+"""Unit tests for repro.geometry.vec."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import as_vec3, distance, lerp, midpoints, norm
+
+
+class TestAsVec3:
+    def test_accepts_list(self):
+        v = as_vec3([1.0, 2.0, 3.0])
+        assert v.shape == (3,)
+        assert v.dtype == np.float64
+
+    def test_accepts_tuple_of_ints(self):
+        v = as_vec3((1, 2, 3))
+        assert v.dtype == np.float64
+        assert v[2] == 3.0
+
+    def test_accepts_ndarray(self):
+        v = as_vec3(np.array([0.1, 0.2, 0.3]))
+        assert np.allclose(v, [0.1, 0.2, 0.3])
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError, match="expected a 3D point"):
+            as_vec3([1.0, 2.0])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            as_vec3(np.zeros((2, 3)))
+
+
+class TestNormDistance:
+    def test_norm_unit_axes(self):
+        assert norm([1, 0, 0]) == pytest.approx(1.0)
+        assert norm([0, 0, -1]) == pytest.approx(1.0)
+
+    def test_norm_pythagorean(self):
+        assert norm([3, 4, 0]) == pytest.approx(5.0)
+
+    def test_distance_symmetry(self):
+        a, b = [0.1, 0.2, 0.3], [-0.4, 0.0, 0.9]
+        assert distance(a, b) == pytest.approx(distance(b, a))
+
+    def test_distance_zero_for_same_point(self):
+        assert distance([1, 2, 3], [1, 2, 3]) == 0.0
+
+
+class TestLerp:
+    def test_endpoints(self):
+        a, b = [0, 0, 0], [1, 2, 3]
+        assert np.allclose(lerp(a, b, 0.0), a)
+        assert np.allclose(lerp(a, b, 1.0), b)
+
+    def test_midpoint(self):
+        assert np.allclose(lerp([0, 0, 0], [2, 4, 6], 0.5), [1, 2, 3])
+
+    def test_extrapolation(self):
+        assert np.allclose(lerp([0, 0, 0], [1, 0, 0], 2.0), [2, 0, 0])
+
+
+class TestMidpoints:
+    def test_count_and_spacing(self):
+        points = list(midpoints([0, 0, 0], [4, 0, 0], count=3))
+        assert len(points) == 3
+        assert np.allclose(points[0], [1, 0, 0])
+        assert np.allclose(points[1], [2, 0, 0])
+        assert np.allclose(points[2], [3, 0, 0])
+
+    def test_strictly_interior(self):
+        points = list(midpoints([0, 0, 0], [1, 1, 1], count=5))
+        for p in points:
+            assert np.all(p > 0) and np.all(p < 1)

@@ -1,0 +1,65 @@
+"""Unit tests for repro.geometry.walls."""
+
+import pytest
+
+from repro.geometry.shapes import Cuboid
+from repro.geometry.walls import SoftwareWall, Workspace
+
+
+class TestSoftwareWall:
+    def test_allows_below_boundary(self):
+        wall = SoftwareWall((1, 0, 0), 0.5, name="w")
+        assert wall.allows([0.4, 0, 0])
+        assert wall.allows([0.5, 0, 0])  # boundary inclusive
+        assert not wall.allows([0.6, 0, 0])
+
+    def test_normal_is_normalized(self):
+        wall = SoftwareWall((2, 0, 0), 1.0)
+        assert wall.normal == (1.0, 0.0, 0.0)
+        assert wall.offset == pytest.approx(0.5)
+        assert wall.allows([0.4, 0, 0])
+        assert not wall.allows([0.6, 0, 0])
+
+    def test_signed_distance(self):
+        wall = SoftwareWall((0, 1, 0), 0.0)
+        assert wall.signed_distance([0, -1, 0]) == pytest.approx(-1.0)
+        assert wall.signed_distance([0, 2, 0]) == pytest.approx(2.0)
+
+    def test_flipped_is_complement(self):
+        wall = SoftwareWall((1, 0, 0), 0.5)
+        other = wall.flipped()
+        for x in (-1.0, 0.0, 0.49, 0.51, 1.0):
+            point = [x, 0, 0]
+            # Exactly on the wall both sides allow; elsewhere exactly one.
+            if abs(x - 0.5) > 1e-9:
+                assert wall.allows(point) != other.allows(point)
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            SoftwareWall((0, 0, 0), 1.0)
+
+
+class TestWorkspace:
+    def setup_method(self):
+        self.ws = Workspace(bounds=Cuboid((-1, -1, 0), (1, 1, 2), name="room"))
+
+    def test_allows_interior(self):
+        assert self.ws.allows([0, 0, 1])
+
+    def test_ground_violation_message(self):
+        assert "ground" in self.ws.violation([0, 0, -0.5])
+
+    def test_ceiling_violation_message(self):
+        assert "ceiling" in self.ws.violation([0, 0, 3])
+
+    def test_side_wall_violation_message(self):
+        assert "wall" in self.ws.violation([2, 0, 1])
+
+    def test_software_wall_violation(self):
+        self.ws.add_wall(SoftwareWall((1, 0, 0), 0.5, name="divider"))
+        reason = self.ws.violation([0.8, 0, 1])
+        assert reason is not None and "divider" in reason
+
+    def test_polyline_violation_finds_first_bad_waypoint(self):
+        assert self.ws.polyline_violation([[0, 0, 1], [0.5, 0, 1]]) is None
+        assert self.ws.polyline_violation([[0, 0, 1], [0, 0, 3]]) is not None

@@ -1,0 +1,223 @@
+"""Unit tests for the kinematics substrate: DH chains, IK, trajectories,
+and the per-vendor arm facade."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import translation
+from repro.kinematics.arm import ArmKinematics, UnreachableTargetError
+from repro.kinematics.dh import DHChain, DHLink
+from repro.kinematics.ik import solve_position_ik
+from repro.kinematics.profiles import NED2, UR3E, UR5E, VIPERX_300, profile_by_name
+from repro.kinematics.trajectory import plan_joint_trajectory
+
+ALL_PROFILES = (UR3E, UR5E, VIPERX_300, NED2)
+
+
+class TestDHChain:
+    def test_single_link_planar(self):
+        chain = DHChain([DHLink(a=1.0, alpha=0.0, d=0.0)])
+        assert np.allclose(chain.end_effector_position([0.0]), [1, 0, 0], atol=1e-12)
+        p = chain.end_effector_position([math.pi / 2])
+        assert np.allclose(p, [0, 1, 0], atol=1e-12)
+
+    def test_joint_positions_length(self):
+        chain = UR3E.chain()
+        points = chain.joint_positions(UR3E.home_q)
+        assert len(points) == UR3E.dof + 1
+
+    def test_base_transform_shifts_everything(self):
+        chain = UR3E.chain().with_base(translation([1.0, 2.0, 0.0]))
+        p0 = UR3E.chain().end_effector_position(UR3E.home_q)
+        p1 = chain.end_effector_position(UR3E.home_q)
+        assert np.allclose(p1 - p0, [1.0, 2.0, 0.0], atol=1e-12)
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError, match="joint angles"):
+            UR3E.chain().forward([0.0, 0.0])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            DHChain([])
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_home_pose_is_above_deck(self, profile):
+        p = profile.chain().end_effector_position(profile.home_q)
+        assert p[2] > 0.1, f"{profile.name} home pose must be well above the deck"
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_sleep_pose_is_above_deck(self, profile):
+        p = profile.chain().end_effector_position(profile.sleep_q)
+        assert p[2] > 0.05
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_postures_respect_joint_limits(self, profile):
+        for posture in (profile.home_q, profile.sleep_q):
+            for q, (lo, hi) in zip(posture, profile.joint_limits):
+                assert lo - 1e-9 <= q <= hi + 1e-9
+
+    def test_lookup_by_name(self):
+        assert profile_by_name("ur3e") is UR3E
+        assert profile_by_name("VIPERX") is VIPERX_300
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown arm profile"):
+            profile_by_name("kuka")
+
+
+class TestIK:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_reaches_mid_workspace_targets(self, profile):
+        arm = ArmKinematics(profile)
+        targets = [
+            [profile.reach * 0.5, 0.1, 0.2],
+            [0.1, profile.reach * 0.55, 0.15],
+            [profile.reach * 0.4, -0.1, 0.1],
+        ]
+        for target in targets:
+            plan = arm.plan_move(target)
+            assert not plan.skipped
+            arm.execute(plan)
+            error = np.linalg.norm(arm.current_position() - np.asarray(target))
+            assert error < 0.003, f"{profile.name} missed {target} by {error:.4f} m"
+
+    def test_unreachable_does_not_converge(self):
+        chain = UR3E.chain()
+        result = solve_position_ik(chain, [0, 0, 5.0], q0=UR3E.home_q)
+        assert not result.converged
+        assert result.error > 1.0
+
+    def test_respects_joint_limits(self):
+        chain = UR3E.chain()
+        limits = [(-0.5, 0.5)] * 6
+        result = solve_position_ik(
+            chain, [0.3, 0.1, 0.3], q0=[0.0] * 6, joint_limits=limits
+        )
+        for q, (lo, hi) in zip(result.q, limits):
+            assert lo - 1e-9 <= q <= hi + 1e-9
+
+    def test_rejects_bad_target_shape(self):
+        with pytest.raises(ValueError, match="3D point"):
+            solve_position_ik(UR3E.chain(), [0.1, 0.2], q0=UR3E.home_q)
+
+
+class TestTrajectory:
+    def test_sample_endpoints(self):
+        chain = UR3E.chain()
+        traj = plan_joint_trajectory(chain, UR3E.home_q, UR3E.sleep_q)
+        samples = traj.sample(10)
+        assert len(samples) == 11
+        assert np.allclose(samples[0], UR3E.home_q)
+        assert np.allclose(samples[-1], UR3E.sleep_q)
+
+    def test_duration_scales_with_excursion(self):
+        chain = UR3E.chain()
+        short = plan_joint_trajectory(chain, [0] * 6, [0.1] + [0] * 5, speed=1.0)
+        long = plan_joint_trajectory(chain, [0] * 6, [1.0] + [0] * 5, speed=1.0)
+        assert long.duration > short.duration
+        assert long.duration == pytest.approx(1.0)
+
+    def test_zero_motion_has_settling_time(self):
+        chain = UR3E.chain()
+        stay = plan_joint_trajectory(chain, [0] * 6, [0] * 6)
+        assert stay.duration > 0
+
+    def test_end_effector_path_length(self):
+        chain = UR3E.chain()
+        traj = plan_joint_trajectory(chain, UR3E.home_q, UR3E.sleep_q)
+        assert len(traj.end_effector_path(20)) == 21
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            plan_joint_trajectory(UR3E.chain(), [0] * 6, [1] * 6, speed=0.0)
+
+
+class TestArmFacade:
+    def test_viperx_silently_skips_unreachable(self):
+        arm = ArmKinematics(VIPERX_300)
+        before = arm.current_position().copy()
+        plan = arm.plan_move([0, 0, 5.0])
+        assert plan.skipped and not plan.target_reached
+        arm.execute(plan)
+        assert np.allclose(arm.current_position(), before)
+
+    def test_ned2_raises_on_unreachable(self):
+        arm = ArmKinematics(NED2)
+        with pytest.raises(UnreachableTargetError, match="cannot compute a trajectory"):
+            arm.plan_move([0, 0, 5.0])
+
+    def test_ur3e_raises_on_unreachable(self):
+        arm = ArmKinematics(UR3E)
+        with pytest.raises(UnreachableTargetError):
+            arm.plan_move([2.0, 0, 0.2])
+
+    def test_footprint_contains_arm(self):
+        arm = ArmKinematics(UR3E)
+        box = arm.footprint_cuboid()
+        for point in arm.arm_polyline():
+            assert box.contains(point)
+
+    def test_plan_home_and_sleep(self):
+        arm = ArmKinematics(VIPERX_300)
+        arm.execute(arm.plan_move([0.4, 0.1, 0.2]))
+        arm.execute(arm.plan_sleep())
+        assert np.allclose(arm.q, VIPERX_300.sleep_q)
+        arm.execute(arm.plan_home())
+        assert np.allclose(arm.q, VIPERX_300.home_q)
+
+    def test_set_posture_validates_arity(self):
+        arm = ArmKinematics(UR3E)
+        with pytest.raises(ValueError):
+            arm.set_posture([0.0, 0.0])
+
+
+class TestPrismaticJointsAndN9:
+    """The SCARA-style N9 (the Berlinguette precursor-station arm) adds a
+    prismatic z-lift to the kinematics substrate."""
+
+    def test_prismatic_variable_extends_d(self):
+        from repro.kinematics.dh import DHChain, DHLink
+
+        lift = DHChain([DHLink(a=0.0, alpha=0.0, d=0.1, prismatic=True)])
+        p0 = lift.end_effector_position([0.0])
+        p1 = lift.end_effector_position([0.15])
+        assert p1[2] - p0[2] == pytest.approx(0.15)
+
+    def test_n9_lift_lowers_the_tool(self):
+        from repro.kinematics.profiles import N9
+
+        chain = N9.chain()
+        retracted = chain.end_effector_position([0, 0, 0.0, 0])
+        extended = chain.end_effector_position([0, 0, 0.2, 0])
+        assert extended[2] == pytest.approx(retracted[2] - 0.2)
+        # Planar position unaffected by the lift.
+        assert np.allclose(extended[:2], retracted[:2])
+
+    def test_n9_ik_reaches_scara_workspace(self):
+        from repro.kinematics.profiles import N9
+
+        arm = ArmKinematics(N9)
+        for target in ([0.25, 0.1, 0.15], [0.2, -0.15, 0.1], [0.3, 0.0, 0.2]):
+            plan = arm.plan_move(target)
+            assert not plan.skipped
+            arm.execute(plan)
+            assert np.linalg.norm(arm.current_position() - np.asarray(target)) < 0.005
+
+    def test_n9_cannot_leave_its_vertical_band(self):
+        # A SCARA's vertical workspace is exactly its lift range; a
+        # target below it must raise (N9 halts like Ned2).
+        from repro.kinematics.profiles import N9
+
+        arm = ArmKinematics(N9)
+        with pytest.raises(UnreachableTargetError):
+            arm.plan_move([0.25, 0.0, -0.2])
+
+    def test_n9_registered_in_profile_lookup(self):
+        from repro.kinematics.profiles import N9, profile_by_name
+
+        assert profile_by_name("n9") is N9
+        assert N9.dof == 4

@@ -1,0 +1,220 @@
+"""Deck-level integration tests: Hein, Berlinguette, and the three-stage
+framework — including the paper's zero-false-positives property on every
+safe workflow under every monitor configuration."""
+
+import pytest
+
+from repro.core.config import validate_config
+from repro.core.monitor import RabitOptions
+from repro.devices.base import DeviceKind
+from repro.lab.berlinguette import (
+    build_berlinguette_deck,
+    build_spray_coating_workflow,
+    make_berlinguette_rabit,
+)
+from repro.lab.hein import build_hein_deck, make_hein_rabit
+from repro.lab.stage import STAGE_PROFILES, Stage
+from repro.lab.workflows import (
+    build_centrifuge_workflow,
+    build_solubility_workflow,
+    build_testbed_workflow,
+    run_workflow,
+)
+from repro.testbed.deck import build_testbed_deck, make_testbed_rabit
+
+
+class TestHeinDeck:
+    def test_config_validates_cleanly(self):
+        deck = build_hein_deck()
+        assert [i for i in validate_config(deck.config) if i.severity == "error"] == []
+
+    def test_every_location_reachable(self):
+        deck = build_hein_deck()
+        for loc in deck.world.locations:
+            target = loc.coord_for("ur3e")
+            plan = deck.ur3e.kinematics.plan_move(target)
+            assert not plan.skipped, f"{loc.name} unreachable for UR3e"
+
+    def test_initial_vials_on_grid(self):
+        deck = build_hein_deck()
+        assert deck.world.occupant("grid_a1") == "vial_1"
+        assert deck.world.occupant("grid_a2") == "vial_2"
+
+    @pytest.mark.parametrize("use_es", [False, True], ids=["plain", "with-es"])
+    def test_safe_solubility_run_has_zero_false_positives(self, use_es):
+        deck = build_hein_deck()
+        rabit, proxies, _ = make_hein_rabit(deck, use_extended_simulator=use_es)
+        result = run_workflow(build_solubility_workflow(proxies))
+        assert result.completed
+        assert rabit.alert_count == 0
+        assert deck.world.damage_log == ()
+
+    def test_safe_run_chemistry(self):
+        deck = build_hein_deck()
+        _, proxies, _ = make_hein_rabit(deck)
+        run_workflow(build_solubility_workflow(proxies, amount_mg=5, initial_solvent_ml=4, dissolution_rounds=2))
+        vial = deck.vials["vial_1"]
+        assert vial.contents.solid_mg == pytest.approx(5.0)
+        assert vial.contents.liquid_ml == pytest.approx(8.0)  # 4 + 2 + 2
+        assert vial.resting_at == "grid_a1"
+        assert vial.stoppered and not vial.broken
+
+    def test_safe_run_under_initial_revision_also_clean(self):
+        deck = build_hein_deck()
+        rabit, proxies, _ = make_hein_rabit(deck, options=RabitOptions.initial())
+        result = run_workflow(build_solubility_workflow(proxies))
+        assert result.completed and rabit.alert_count == 0
+
+
+class TestTestbedWorkflows:
+    @pytest.mark.parametrize("use_es", [False, True], ids=["plain", "with-es"])
+    def test_fig5_workflow_zero_false_positives(self, use_es):
+        deck = build_testbed_deck(noise_sigma=0.003)
+        rabit, proxies, _ = make_testbed_rabit(deck, use_extended_simulator=use_es)
+        result = run_workflow(build_testbed_workflow(proxies))
+        assert result.completed
+        assert rabit.alert_count == 0
+        assert deck.world.damage_log == ()
+
+    def test_fig5_dosing_outcome(self):
+        deck = build_testbed_deck(noise_sigma=0.003)
+        _, proxies, _ = make_testbed_rabit(deck)
+        run_workflow(build_testbed_workflow(proxies))
+        vial = deck.vials["vial_t1"]
+        assert vial.contents.solid_mg == pytest.approx(5.0)
+        assert vial.resting_at == "grid_nw_viperx"
+
+    @pytest.mark.parametrize("use_es", [False, True], ids=["plain", "with-es"])
+    def test_centrifuge_leg_zero_false_positives(self, use_es):
+        deck = build_testbed_deck(noise_sigma=0.003)
+        vial = deck.vials["vial_t1"]
+        vial.decap_vial()
+        vial.contents.solid_mg = 5.0
+        vial.contents.liquid_ml = 5.0
+        rabit, proxies, _ = make_testbed_rabit(deck, use_extended_simulator=use_es)
+        result = run_workflow(build_centrifuge_workflow(proxies))
+        assert result.completed and rabit.alert_count == 0
+        assert deck.world.damage_log == ()
+
+
+class TestBerlinguette:
+    def test_all_devices_categorize_into_four_types(self):
+        deck = build_berlinguette_deck()
+        kinds = set(deck.categorization().values())
+        assert kinds <= {k.value for k in DeviceKind}
+        # The §V-B mapping specifics:
+        assert deck.categorization()["decapper"] == "action_device"
+        assert deck.categorization()["syringe_pump"] == "dosing_system"
+        assert deck.categorization()["xrf"] == "action_device"
+
+    def test_no_custom_rules_enabled(self):
+        deck = build_berlinguette_deck()
+        assert deck.model.custom_rule_ids == []
+
+    @pytest.mark.parametrize("solvent_only", [False, True], ids=["full", "solvent-only"])
+    def test_spray_coating_clean_under_general_rules(self, solvent_only):
+        deck = build_berlinguette_deck()
+        rabit, proxies, _ = make_berlinguette_rabit(deck)
+        result = run_workflow(
+            build_spray_coating_workflow(proxies, solvent_only=solvent_only)
+        )
+        assert result.completed and rabit.alert_count == 0
+        # Solvent-only runs waste nothing worse than low-severity events.
+        assert all(d.severity.value == "low" for d in deck.world.damage_log)
+
+    def test_general_rules_still_fire(self):
+        from repro.core.errors import SafetyViolation
+
+        deck = build_berlinguette_deck()
+        rabit, proxies, _ = make_berlinguette_rabit(deck)
+        with pytest.raises(SafetyViolation) as excinfo:
+            proxies["ur5e"].move_to_location("bdosing_interior")  # door closed
+        assert excinfo.value.alert.rule_id == "G1"
+
+    def test_threshold_rule_on_spray_nozzle(self):
+        from repro.core.errors import SafetyViolation
+
+        deck = build_berlinguette_deck()
+        rabit, proxies, _ = make_berlinguette_rabit(deck)
+        with pytest.raises(SafetyViolation) as excinfo:
+            proxies["nozzle"].start_action(80.0)
+        assert excinfo.value.alert.rule_id == "G11"
+
+
+class TestStageFramework:
+    def test_table1_band_ordering(self):
+        # The exact High/Medium/Low cells of Table I.
+        expectations = {
+            (Stage.SIMULATOR, "speed"): "High",
+            (Stage.TESTBED, "speed"): "Medium",
+            (Stage.PRODUCTION, "speed"): "Low",
+            (Stage.SIMULATOR, "precision"): "Low",
+            (Stage.TESTBED, "precision"): "Medium",
+            (Stage.PRODUCTION, "precision"): "High",
+            (Stage.SIMULATOR, "accuracy"): "Low",
+            (Stage.PRODUCTION, "accuracy"): "High",
+            (Stage.SIMULATOR, "risk"): "Low",
+            (Stage.PRODUCTION, "risk"): "High",
+        }
+        for (stage, axis), band in expectations.items():
+            assert STAGE_PROFILES[stage].band(axis) == band
+
+    def test_quantities_consistent_with_bands(self):
+        sim = STAGE_PROFILES[Stage.SIMULATOR]
+        tb = STAGE_PROFILES[Stage.TESTBED]
+        prod = STAGE_PROFILES[Stage.PRODUCTION]
+        assert sim.time_scale < tb.time_scale <= prod.time_scale
+        assert sim.position_noise_sigma <= prod.position_noise_sigma < tb.position_noise_sigma
+        assert sim.result_accuracy < tb.result_accuracy < prod.result_accuracy
+        assert sim.damage_cost < tb.damage_cost < prod.damage_cost
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(KeyError):
+            STAGE_PROFILES[Stage.SIMULATOR].band("charm")
+
+
+class TestCrystallizationWorkflow:
+    """The second Hein production workflow (thermoshaker agitation)."""
+
+    @pytest.mark.parametrize("use_es", [False, True], ids=["plain", "with-es"])
+    def test_zero_false_positives(self, use_es):
+        from repro.lab.workflows import build_crystallization_workflow
+
+        deck = build_hein_deck()
+        rabit, proxies, _ = make_hein_rabit(deck, use_extended_simulator=use_es)
+        result = run_workflow(build_crystallization_workflow(proxies))
+        assert result.completed and rabit.alert_count == 0
+        assert deck.world.damage_log == ()
+
+    def test_chemistry_and_final_state(self):
+        from repro.lab.workflows import build_crystallization_workflow
+
+        deck = build_hein_deck()
+        _, proxies, _ = make_hein_rabit(deck)
+        run_workflow(build_crystallization_workflow(proxies, amount_mg=4, solvent_ml=3))
+        vial = deck.vials["vial_2"]
+        assert vial.contents.solid_mg == pytest.approx(4.0)
+        assert vial.contents.liquid_ml == pytest.approx(3.0)
+        assert vial.resting_at == "grid_a2" and vial.stoppered
+
+    def test_back_to_back_with_solubility_run(self):
+        from repro.lab.workflows import build_crystallization_workflow
+
+        deck = build_hein_deck()
+        rabit, proxies, _ = make_hein_rabit(deck)
+        assert run_workflow(build_solubility_workflow(proxies)).completed
+        assert run_workflow(build_crystallization_workflow(proxies)).completed
+        assert rabit.alert_count == 0
+        assert deck.world.damage_log == ()
+
+    def test_shaker_overspeed_is_vetoed(self):
+        from repro.core.errors import SafetyViolation
+        from repro.lab.workflows import build_crystallization_workflow
+
+        deck = build_hein_deck()
+        rabit, proxies, _ = make_hein_rabit(deck)
+        result = run_workflow(
+            build_crystallization_workflow(proxies, shake_rpm=2000.0)  # > 1500
+        )
+        assert result.stopped_by_rabit
+        assert result.alert.rule_id == "G11"

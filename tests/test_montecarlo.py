@@ -1,0 +1,70 @@
+"""Tests for the Monte Carlo bug-injection harness."""
+
+import pytest
+
+from repro.faults.montecarlo import MonteCarloReport, MutantOutcome, run_monte_carlo
+
+
+@pytest.fixture(scope="module")
+def report() -> MonteCarloReport:
+    # Small but deterministic sample; the benchmark runs a bigger sweep.
+    return run_monte_carlo(samples=10, seed=2024)
+
+
+class TestSweep:
+    def test_every_mutant_scored(self, report):
+        assert len(report.outcomes) == 10
+        assert all(
+            o.classification
+            in {"true_positive", "false_negative", "true_negative", "false_positive"}
+            for o in report.outcomes
+        )
+
+    def test_no_false_alarms_on_benign_mutants(self, report):
+        # The paper's zero-false-positive claim, now over random mutants:
+        # a mutation that harms nothing must not trip the monitor.
+        assert report.false_alarm_rate == 0.0
+        assert report.count("false_positive") == 0
+
+    def test_some_mutants_are_harmful_and_detected(self, report):
+        assert report.harmful_total >= 2
+        assert report.count("true_positive") >= 1
+
+    def test_detection_rate_in_paper_band(self, report):
+        # The 16-bug campaign measured 50-81 % depending on revision; the
+        # random-mutant estimate under modified RABIT should land in a
+        # compatible (wide) band rather than at an extreme.
+        assert 0.4 <= report.detection_rate <= 1.0
+
+    def test_deterministic_under_seed(self):
+        a = run_monte_carlo(samples=4, seed=7)
+        b = run_monte_carlo(samples=4, seed=7)
+        assert [o.description for o in a.outcomes] == [
+            o.description for o in b.outcomes
+        ]
+        assert [o.classification for o in a.outcomes] == [
+            o.classification for o in b.outcomes
+        ]
+
+    def test_bug_c_shape_appears_as_false_negative(self, report):
+        # Deleting the pick line is Bug C; when sampled it must score as
+        # harmful-but-missed (the gripper-sensor gap).
+        picks = [o for o in report.outcomes if o.description == "delete pick_grid"]
+        for outcome in picks:
+            assert outcome.classification == "false_negative"
+
+
+class TestOutcomeModel:
+    def test_classification_matrix(self):
+        def make(harmful, detected):
+            return MutantOutcome(0, "x", harmful, detected, ())
+
+        assert make(True, True).classification == "true_positive"
+        assert make(True, False).classification == "false_negative"
+        assert make(False, True).classification == "false_positive"
+        assert make(False, False).classification == "true_negative"
+
+    def test_rates_on_empty_report(self):
+        report = MonteCarloReport()
+        assert report.detection_rate == 0.0
+        assert report.false_alarm_rate == 0.0

@@ -1,0 +1,210 @@
+"""The §V-C multi-door extension: two arms, one device, two named doors.
+
+"Devices might have multiple doors, for instance, for two robot arms to
+approach the device simultaneously.  In its current state, RABIT does
+not handle this."  This reproduction does: per-door state keys, per-door
+G1 checks, all-doors-closed G9, and a G2 that only protects the door an
+arm actually entered through — so simultaneous two-door access works.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import build_model
+from repro.core.errors import AlertKind, SafetyViolation
+from repro.core.interceptor import instrument
+from repro.core.monitor import Rabit, RabitOptions
+from repro.devices.base import DoorState
+from repro.devices.container import Vial
+from repro.devices.locations import LocationKind
+from repro.devices.multi_door import MultiDoorDosingDevice
+from repro.devices.robot import RobotArmDevice
+from repro.devices.world import LabWorld
+from repro.geometry.shapes import Cuboid
+from repro.geometry.transforms import identity, rotation_z, translation
+from repro.geometry.walls import Workspace
+from repro.kinematics.profiles import NED2, VIPERX_300
+
+NED2_BASE = translation([0.82, 0.0, 0.0]) @ rotation_z(math.pi)
+
+#: The shared device sits between the arms; front slot serves ViperX,
+#: back slot serves Ned2 (world frame == viperx frame).
+DEVICE_BOX = {"min": [0.40, 0.18, 0.0], "max": [0.60, 0.38, 0.30]}
+FRONT_SLOT_VIPERX = [0.44, 0.28, 0.12]
+BACK_SLOT_WORLD = [0.55, 0.28, 0.12]  # ned2 frame: (0.27, -0.28, 0.12)
+
+
+def build_mini_lab():
+    world = LabWorld(
+        "two-door", Workspace(bounds=Cuboid((-0.7, -0.6, -0.05), (1.5, 0.6, 1.0), name="room"))
+    )
+    world.register_frame("viperx", identity())
+    world.register_frame("ned2", NED2_BASE)
+    world.add_surface(Cuboid((-0.6, -0.6, -0.02), (1.4, 0.6, 0.03), name="platform"))
+
+    back_ned2 = NED2_BASE.inverse().apply(BACK_SLOT_WORLD)
+    world.locations.define(
+        "mdoser_front", LocationKind.DEVICE_INTERIOR,
+        {"viperx": FRONT_SLOT_VIPERX}, device="mdoser", via_door="front",
+    )
+    world.locations.define(
+        "mdoser_back", LocationKind.DEVICE_INTERIOR,
+        {"ned2": [float(x) for x in back_ned2]}, device="mdoser", via_door="back",
+    )
+    world.locations.define(
+        "front_approach", LocationKind.DEVICE_APPROACH,
+        {"viperx": [0.44, 0.10, 0.20]}, device="mdoser",
+    )
+    world.locations.define(
+        "back_approach", LocationKind.DEVICE_APPROACH,
+        {"ned2": [0.27, -0.10, 0.20]}, device="mdoser",
+    )
+
+    viperx = world.add_device(RobotArmDevice("viperx", VIPERX_300, world))
+    ned2 = world.add_device(RobotArmDevice("ned2", NED2, world))
+    mdoser = world.add_device(
+        MultiDoorDosingDevice(
+            "mdoser", world, door_names=("front", "back"),
+            door_initial=DoorState.CLOSED,
+        ),
+        footprint=Cuboid(tuple(DEVICE_BOX["min"]), tuple(DEVICE_BOX["max"]), name="mdoser"),
+    )
+    vial = world.add_vial(Vial("mv", stoppered=False), at_location="mdoser_front")
+
+    config = {
+        "lab": "two-door",
+        "devices": [
+            {"name": "viperx", "type": "robot_arm", "class": "RobotArmDevice",
+             "frame": "viperx"},
+            {"name": "ned2", "type": "robot_arm", "class": "RobotArmDevice",
+             "frame": "ned2"},
+            {"name": "mdoser", "type": "dosing_system", "class": "MultiDoorDosingDevice",
+             "door": {"present": True, "initial": "closed", "names": ["front", "back"]},
+             "load_location": "mdoser_front"},
+            {"name": "mv", "type": "container", "class": "Vial",
+             "capacity_solid_mg": 10.0},
+        ],
+        "locations": [
+            {"name": "mdoser_front", "kind": "device_interior", "device": "mdoser",
+             "via_door": "front", "coords": {"viperx": FRONT_SLOT_VIPERX}},
+            {"name": "mdoser_back", "kind": "device_interior", "device": "mdoser",
+             "via_door": "back", "coords": {"ned2": [float(x) for x in back_ned2]}},
+            {"name": "front_approach", "kind": "device_approach", "device": "mdoser",
+             "coords": {"viperx": [0.44, 0.10, 0.20]}},
+            {"name": "back_approach", "kind": "device_approach", "device": "mdoser",
+             "coords": {"ned2": [0.27, -0.10, 0.20]}},
+        ],
+        "obstacles": [
+            {"name": "mdoser", "surface": False, "frames": {"viperx": dict(DEVICE_BOX)}},
+            {"name": "platform", "surface": True,
+             "frames": {"viperx": {"min": [-0.6, -0.6, -0.02], "max": [1.4, 0.6, 0.03]}}},
+        ],
+        "custom_rules": [],
+        "reliable_container_tracking": True,
+    }
+    model = build_model(config)
+    rabit = Rabit(model=model, devices={
+        "viperx": viperx, "ned2": ned2, "mdoser": mdoser, "mv": vial,
+    }, options=RabitOptions.modified())
+    rabit.seed_tracked("container_at", "mv", "mdoser_front")
+    rabit.seed_tracked("container_solid", "mv", 0.0)
+    rabit.seed_tracked("container_liquid", "mv", 0.0)
+    rabit.initialize()
+    proxies, trace = instrument(rabit.devices, rabit, clock=rabit.clock)
+    return world, rabit, proxies
+
+
+class TestPerDoorState:
+    def test_initial_state_has_compound_keys(self):
+        world, rabit, px = build_mini_lab()
+        assert rabit.state.get("door_status", "mdoser:front") == "closed"
+        assert rabit.state.get("door_status", "mdoser:back") == "closed"
+
+    def test_doors_toggle_independently(self):
+        world, rabit, px = build_mini_lab()
+        px["mdoser"].open_door("front")
+        assert rabit.state.get("door_status", "mdoser:front") == "open"
+        assert rabit.state.get("door_status", "mdoser:back") == "closed"
+
+
+class TestPerDoorG1:
+    def test_entry_blocked_by_its_own_closed_door(self):
+        world, rabit, px = build_mini_lab()
+        px["mdoser"].open_door("back")  # the WRONG door for viperx
+        px["viperx"].move_to_location("front_approach")
+        with pytest.raises(SafetyViolation) as excinfo:
+            px["viperx"].move_to_location("mdoser_front")
+        assert excinfo.value.alert.rule_id == "G1"
+        assert "mdoser:front" in excinfo.value.alert.message
+
+    def test_entry_allowed_through_its_open_door(self):
+        world, rabit, px = build_mini_lab()
+        px["mdoser"].open_door("front")
+        px["viperx"].move_to_location("front_approach")
+        px["viperx"].move_to_location("mdoser_front")
+        assert rabit.alert_count == 0
+        assert world.robot_inside("viperx") == "mdoser"
+        assert world.robot_entry_door("viperx") == "front"
+
+
+class TestSimultaneousAccess:
+    def test_both_arms_inside_through_different_doors(self):
+        world, rabit, px = build_mini_lab()
+        px["mdoser"].open_door("front")
+        px["mdoser"].open_door("back")
+        px["viperx"].move_to_location("front_approach")
+        px["viperx"].move_to_location("mdoser_front")
+        px["ned2"].move_to_location("back_approach")
+        px["ned2"].move_to_location("mdoser_back")
+        assert rabit.alert_count == 0
+        assert set(world.robots_inside("mdoser")) == {"viperx", "ned2"}
+
+    def test_g2_protects_only_the_entry_door(self):
+        world, rabit, px = build_mini_lab()
+        px["mdoser"].open_door("front")
+        px["mdoser"].open_door("back")
+        px["viperx"].move_to_location("front_approach")
+        px["viperx"].move_to_location("mdoser_front")
+        # Closing the BACK door is fine: nobody entered through it.
+        px["mdoser"].close_door("back")
+        assert rabit.alert_count == 0
+        # Closing the FRONT door onto the arm inside is vetoed.
+        with pytest.raises(SafetyViolation) as excinfo:
+            px["mdoser"].close_door("front")
+        assert excinfo.value.alert.rule_id == "G2"
+
+
+class TestG9AllDoors:
+    def test_dosing_requires_every_door_closed(self):
+        world, rabit, px = build_mini_lab()
+        px["mdoser"].open_door("back")
+        with pytest.raises(SafetyViolation) as excinfo:
+            px["mdoser"].dose_solid(3)
+        assert excinfo.value.alert.rule_id == "G9"
+        assert "mdoser:back" in excinfo.value.alert.message
+
+    def test_dosing_with_all_doors_closed_succeeds(self):
+        world, rabit, px = build_mini_lab()
+        px["mdoser"].dose_solid(3)
+        assert rabit.alert_count == 0
+        assert world.vial("mv").contents.solid_mg == pytest.approx(3.0)
+
+
+class TestGroundTruthDoorPhysics:
+    def test_crashing_through_the_named_closed_door(self):
+        world, rabit, px = build_mini_lab()
+        # Bypass RABIT: command the raw device to reproduce the crash.
+        world.device("viperx").move_to_location("front_approach")
+        world.device("viperx").move_to_location("mdoser_front")
+        assert any(d.kind == "door_crash" for d in world.damage_log)
+
+    def test_exit_uses_the_entry_door(self):
+        world, rabit, px = build_mini_lab()
+        px["mdoser"].open_door("front")
+        px["viperx"].move_to_location("front_approach")
+        px["viperx"].move_to_location("mdoser_front")
+        # Force the front door shut around the arm, then exit: crash.
+        world.device("mdoser").doors["front"].set_state(DoorState.CLOSED)
+        world.device("viperx").move_to_location("front_approach")
+        assert any(d.kind == "door_crash" for d in world.damage_log)

@@ -1,0 +1,163 @@
+"""Tests for the §V-C non-cuboid shape extension."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.richshapes import (
+    CompositeShape,
+    Hemisphere,
+    VerticalCylinder,
+    shape_from_spec,
+)
+from repro.geometry.shapes import Cuboid
+
+
+class TestHemisphere:
+    DOME = Hemisphere((0.0, 0.0, 0.1), radius=0.2, name="dome")
+
+    def test_contains_apex_and_base_center(self):
+        assert self.DOME.contains([0, 0, 0.3])
+        assert self.DOME.contains([0, 0, 0.1])
+
+    def test_rejects_below_base(self):
+        assert not self.DOME.contains([0, 0, 0.05])
+
+    def test_rejects_outside_radius(self):
+        assert not self.DOME.contains([0.25, 0, 0.12])
+
+    def test_corner_of_bounding_cuboid_is_outside_dome(self):
+        # The whole point: the dome frees the cuboid's shoulders.
+        box = self.DOME.bounding_cuboid()
+        shoulder = [box.hi[0] - 0.01, box.hi[1] - 0.01, box.hi[2] - 0.01]
+        assert box.contains(shoulder)
+        assert not self.DOME.contains(shoulder)
+
+    def test_tolerance(self):
+        assert self.DOME.contains([0.21, 0, 0.1], tol=0.02)
+
+    def test_positive_radius_required(self):
+        with pytest.raises(ValueError):
+            Hemisphere((0, 0, 0), radius=0.0)
+
+
+class TestVerticalCylinder:
+    DRUM = VerticalCylinder((0.1, 0.1), (0.0, 0.3), radius=0.1, name="drum")
+
+    def test_contains_axis(self):
+        assert self.DRUM.contains([0.1, 0.1, 0.15])
+
+    def test_rejects_above_and_below(self):
+        assert not self.DRUM.contains([0.1, 0.1, 0.35])
+        assert not self.DRUM.contains([0.1, 0.1, -0.05])
+
+    def test_rejects_outside_radius(self):
+        assert not self.DRUM.contains([0.25, 0.1, 0.15])
+
+    def test_bounding_cuboid(self):
+        box = self.DRUM.bounding_cuboid()
+        assert np.allclose(box.lo, [0.0, 0.0, 0.0])
+        assert np.allclose(box.hi, [0.2, 0.2, 0.3])
+
+    def test_inverted_z_rejected(self):
+        with pytest.raises(ValueError, match="inverted"):
+            VerticalCylinder((0, 0), (0.3, 0.1), radius=0.1)
+
+
+class TestComposite:
+    # Participant P's thermoshaker: a body with a bump on top.
+    BODY = Cuboid((0, 0, 0), (0.2, 0.2, 0.1), name="body")
+    BUMP = Hemisphere((0.1, 0.1, 0.1), radius=0.05, name="bump")
+    SHAKER = CompositeShape((BODY, BUMP), name="thermoshaker")
+
+    def test_contains_either_part(self):
+        assert self.SHAKER.contains([0.05, 0.05, 0.05])  # body
+        assert self.SHAKER.contains([0.1, 0.1, 0.13])  # bump
+
+    def test_rejects_beside_bump_above_body(self):
+        # Above the body but outside the bump: free space the single
+        # bounding cuboid would have kept out.
+        point = [0.02, 0.02, 0.12]
+        assert not self.SHAKER.contains(point)
+        assert self.SHAKER.bounding_cuboid().contains(point)
+
+    def test_needs_parts(self):
+        with pytest.raises(ValueError, match="at least one part"):
+            CompositeShape((), name="empty")
+
+
+class TestShapeFromSpec:
+    def test_cuboid_default(self):
+        shape = shape_from_spec({"min": [0, 0, 0], "max": [1, 1, 1]}, name="box")
+        assert isinstance(shape, Cuboid) and shape.name == "box"
+
+    def test_hemisphere(self):
+        shape = shape_from_spec(
+            {"type": "hemisphere", "center": [0, 0, 0.1], "radius": 0.2}, name="dome"
+        )
+        assert isinstance(shape, Hemisphere)
+
+    def test_cylinder(self):
+        shape = shape_from_spec(
+            {"type": "cylinder", "center_xy": [0, 0], "z_range": [0, 0.3], "radius": 0.1},
+            name="drum",
+        )
+        assert isinstance(shape, VerticalCylinder)
+
+    def test_composite(self):
+        shape = shape_from_spec(
+            {
+                "type": "composite",
+                "parts": [
+                    {"min": [0, 0, 0], "max": [1, 1, 1]},
+                    {"type": "hemisphere", "center": [0.5, 0.5, 1.0], "radius": 0.2},
+                ],
+            },
+            name="bumpy",
+        )
+        assert isinstance(shape, CompositeShape) and len(shape.parts) == 2
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown shape type"):
+            shape_from_spec({"type": "torus"}, name="t")
+
+
+class TestConfigIntegration:
+    def test_refined_shape_loads_through_config(self):
+        from repro.core.config import build_model
+        from repro.lab.hein import build_hein_deck
+
+        config = build_hein_deck().config
+        # Refine the centrifuge into P's hemisphere-on-drum description.
+        for obs in config["obstacles"]:
+            if obs["name"] == "centrifuge":
+                obs["frames"]["ur3e"] = {
+                    "type": "composite",
+                    "parts": [
+                        {
+                            "type": "cylinder",
+                            "center_xy": [0.0, -0.38],
+                            "z_range": [0.0, 0.15],
+                            "radius": 0.10,
+                        },
+                        {
+                            "type": "hemisphere",
+                            "center": [0.0, -0.38, 0.15],
+                            "radius": 0.10,
+                        },
+                    ],
+                }
+        model = build_model(config)
+        shapes = {c.name: c for c in model.obstacles_for_frame("ur3e")}
+        centrifuge = shapes["centrifuge"]
+        assert centrifuge.contains([0.0, -0.38, 0.2])  # dome
+        # The old cuboid's top corner is now free space.
+        assert not centrifuge.contains([0.09, -0.29, 0.24])
+
+    def test_invalid_shape_spec_rejected(self):
+        from repro.core.config import validate_config
+        from repro.lab.hein import build_hein_deck
+
+        config = build_hein_deck().config
+        config["obstacles"][1]["frames"]["ur3e"] = {"type": "hemisphere", "radius": -1}
+        issues = [i for i in validate_config(config) if i.severity == "error"]
+        assert any("invalid shape spec" in i.message for i in issues)

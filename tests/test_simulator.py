@@ -1,0 +1,200 @@
+"""Tests for the URSim substrate and the Extended Simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.actions import ActionCall, ActionLabel
+from repro.core.errors import AlertKind, SafetyViolation
+from repro.core.state import LabState
+from repro.lab.hein import build_hein_deck, make_hein_rabit
+from repro.kinematics.profiles import UR3E, VIPERX_300
+from repro.simulator.extended import ExtendedSimulator
+from repro.simulator.gui import GuiLatencyModel
+from repro.simulator.ursim import URSimArm
+from repro.core.clock import VirtualClock
+from repro.testbed.deck import build_testbed_deck, make_testbed_rabit
+
+
+class TestURSim:
+    def test_plans_reachable_targets(self):
+        sim = URSimArm(UR3E)
+        plan = sim.try_plan([0.25, 0.1, 0.2])
+        assert plan is not None and not plan.skipped
+
+    def test_reports_unreachable_as_none_even_for_viperx(self):
+        # URSim is a simulator: it reports infeasibility instead of
+        # silently skipping, regardless of the vendor controller.
+        sim = URSimArm(VIPERX_300)
+        assert sim.try_plan([0, 0, 5.0]) is None
+
+    def test_simulate_returns_polled_polylines(self):
+        sim = URSimArm(UR3E)
+        plan = sim.try_plan([0.25, 0.1, 0.2])
+        frames = sim.simulate(plan, resolution=10)
+        assert len(frames) == 11
+        assert len(frames[0]) == UR3E.dof + 1
+
+    def test_posture_sync(self):
+        sim = URSimArm(UR3E)
+        sim.set_posture(UR3E.sleep_q)
+        assert np.allclose(sim.kinematics.q, UR3E.sleep_q)
+
+
+class TestExtendedSimulatorChecks:
+    def _checker_and_model(self):
+        deck = build_hein_deck()
+        rabit, proxies, _ = make_hein_rabit(deck)
+        checker = ExtendedSimulator({"ur3e": deck.ur3e})
+        return deck, rabit, checker
+
+    def test_clear_trajectory_passes(self):
+        deck, rabit, checker = self._checker_and_model()
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT, "ur3e", robot="ur3e", target=(0.3, -0.05, 0.28),
+            location="grid_a1_safe",
+        )
+        assert checker.validate_trajectory(
+            call, rabit.state, rabit.model, account_held_objects=True
+        ) is None
+
+    def test_path_through_obstacle_detected(self):
+        deck, rabit, checker = self._checker_and_model()
+        # Start the arm on the far side so the straight path crosses the
+        # thermoshaker cuboid at low height.
+        deck.ur3e.kinematics.execute(deck.ur3e.kinematics.plan_move([0.35, 0.12, 0.08]))
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT, "ur3e", robot="ur3e", target=(0.12, 0.38, 0.08)
+        )
+        problem = checker.validate_trajectory(
+            call, rabit.state, rabit.model, account_held_objects=True
+        )
+        assert problem is not None and "thermoshaker" in problem
+
+    def test_held_vial_extent_only_when_enabled(self):
+        deck, rabit, checker = self._checker_and_model()
+        rabit.state.set("robot_holding", "ur3e", "vial_1")
+        # Target above the grid top (0.05): bare gripper clears at
+        # z = 0.09, but a held vial reaches 3 cm lower.
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT, "ur3e", robot="ur3e", target=(0.30, -0.05, 0.09)
+        )
+        with_held = checker.validate_trajectory(
+            call, rabit.state, rabit.model, account_held_objects=True
+        )
+        without = checker.validate_trajectory(
+            call, rabit.state, rabit.model, account_held_objects=False
+        )
+        assert with_held is not None and "vial_1" in with_held
+        assert without is None
+
+    def test_entered_device_excluded_when_door_open(self):
+        deck, rabit, checker = self._checker_and_model()
+        rabit.state.set("door_status", "dosing_device", "open")
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT_INSIDE, "ur3e", robot="ur3e",
+            location="dosing_interior", target=(0.0, 0.38, 0.12),
+        )
+        assert checker.validate_trajectory(
+            call, rabit.state, rabit.model, account_held_objects=True
+        ) is None
+
+    def test_unplannable_move_yields_no_trajectory(self):
+        deck, rabit, checker = self._checker_and_model()
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT, "ur3e", robot="ur3e", target=(3.0, 0.0, 0.2)
+        )
+        assert checker.validate_trajectory(
+            call, rabit.state, rabit.model, account_held_objects=True
+        ) is None
+
+    def test_unknown_robot_ignored(self):
+        deck, rabit, checker = self._checker_and_model()
+        call = ActionCall(ActionLabel.MOVE_ROBOT, "ghost", robot="ghost")
+        assert checker.validate_trajectory(
+            call, LabState(), rabit.model, account_held_objects=True
+        ) is None
+
+
+class TestSilentSkipScenario:
+    def test_es_catches_post_skip_collision(self):
+        """Footnote 2 end-to-end: B' silently skipped, A->C sweeps into
+        the thermoshaker mockup; only the Extended Simulator notices."""
+        deck = build_testbed_deck()
+        rabit, proxies, _ = make_testbed_rabit(deck, use_extended_simulator=True)
+        viperx = proxies["viperx"]
+        viperx.move_to_location("grid_nw_viperx_safe")  # A
+        viperx.move_to_location([0.62, -0.38, 0.35])  # B': skipped silently
+        with pytest.raises(SafetyViolation) as excinfo:
+            viperx.move_to_location([0.37, -0.46, 0.10])  # C
+        assert excinfo.value.alert.kind is AlertKind.INVALID_TRAJECTORY
+
+    def test_without_es_the_same_sequence_is_missed(self):
+        deck = build_testbed_deck()
+        rabit, proxies, _ = make_testbed_rabit(deck, use_extended_simulator=False)
+        viperx = proxies["viperx"]
+        viperx.move_to_location("grid_nw_viperx_safe")
+        viperx.move_to_location([0.62, -0.38, 0.35])
+        viperx.move_to_location([0.37, -0.46, 0.10])
+        assert rabit.alert_count == 0
+        assert any(d.kind == "arm_collision" for d in deck.world.damage_log)
+
+
+class TestGuiLatency:
+    def test_render_vs_headless_cost(self):
+        clock = VirtualClock()
+        gui = GuiLatencyModel(render_latency=2.0, headless_latency=0.01)
+        assert gui.charge(clock) == 2.0
+        gui.bypass_gui = True
+        assert gui.charge(clock) == 0.01
+        assert clock.spent("rabit_simulator_gui") == pytest.approx(2.01)
+
+
+class TestTopdownRenderer:
+    """The terminal stand-in for the Fig. 3 deck view."""
+
+    @pytest.fixture(scope="class")
+    def rendering(self):
+        from repro.lab.hein import build_hein_deck, make_hein_rabit
+        from repro.simulator.render import render_topdown
+
+        deck = build_hein_deck()
+        make_hein_rabit(deck)
+        return render_topdown(deck.model, "ur3e", robot=deck.ur3e)
+
+    def test_every_device_appears_in_legend(self, rendering):
+        for name in ("dosing_device", "centrifuge", "hotplate", "grid",
+                     "thermoshaker", "syringe_pump", "platform"):
+            assert name in rendering
+
+    def test_arm_marker_present(self, rendering):
+        assert "@" in rendering and "ur3e gripper" in rendering
+
+    def test_locations_marked(self, rendering):
+        assert "*" in rendering and "named location" in rendering
+
+    def test_refined_shapes_render_round(self):
+        # A hemispherical centrifuge occupies fewer cells than its
+        # bounding cuboid — the renderer probes contains(), not boxes.
+        from repro.core.config import build_model
+        from repro.lab.hein import build_hein_deck
+        from repro.simulator.render import render_topdown
+
+        config = build_hein_deck().config
+        for obs in config["obstacles"]:
+            if obs["name"] == "centrifuge":
+                obs["frames"]["ur3e"] = {
+                    "type": "cylinder",
+                    "center_xy": [0.0, -0.38],
+                    "z_range": [0.0, 0.25],
+                    "radius": 0.10,
+                }
+        refined = render_topdown(build_model(config), "ur3e")
+        cuboid = render_topdown(build_model(build_hein_deck().config), "ur3e")
+        assert refined.count("C") < cuboid.count("C")
+
+    def test_empty_frame_renders(self):
+        from repro.core.model import RabitLabModel
+        from repro.simulator.render import render_topdown
+
+        text = render_topdown(RabitLabModel("empty"), "nowhere")
+        assert "top-down" in text

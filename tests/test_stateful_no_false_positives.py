@@ -1,0 +1,217 @@
+"""Stateful property test: RABIT never false-alarms on legal operation.
+
+The paper's strongest usability claim is that "throughout testing, RABIT
+never produced any false positives".  This machine generates *random but
+legal* command sequences on the Hein deck — door cycles, vial ferrying,
+dosing, heating, capping — tracking just enough bookkeeping to only emit
+commands a careful researcher could issue.  The invariants:
+
+- RABIT raises no alert on any emitted command;
+- the ground-truth world records no damage;
+- RABIT's tracked belief about the vial's location matches ground truth.
+
+Any false positive (or physics/belief divergence) surfaces as a minimal
+failing command sequence, courtesy of hypothesis shrinking.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.lab.hein import build_hein_deck, make_hein_rabit
+
+
+class LegalOperationMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.deck = build_hein_deck()
+        self.rabit, self.proxies, _ = make_hein_rabit(self.deck)
+        self.ur3e = self.proxies["ur3e"]
+        self.dosing = self.proxies["dosing_device"]
+        self.hotplate = self.proxies["hotplate"]
+        self.vial = self.proxies["vial_1"]
+        # Script-side bookkeeping (what a careful researcher would know).
+        self.door_open = False
+        self.holding = False
+        self.vial_at = "grid_a1"  # "grid_a1" | "dosing_interior" | "hotplate_top"
+        self.arm_at = "home"
+        self.vial_solid = 0.0
+        self.stoppered = True
+        self.hotplate_on = False
+
+    # -- door cycles ---------------------------------------------------------
+
+    @precondition(lambda self: not self.door_open and self.arm_at != "dosing_interior")
+    @rule()
+    def open_door(self):
+        self.dosing.open_door()
+        self.door_open = True
+
+    @precondition(
+        lambda self: self.door_open
+        and self.arm_at != "dosing_interior"
+        and not self.dosing_running()
+    )
+    @rule()
+    def close_door(self):
+        self.dosing.close_door()
+        self.door_open = False
+
+    def dosing_running(self):
+        return bool(self.deck.devices["dosing_device"].active)
+
+    # -- arm motion -------------------------------------------------------------
+
+    @rule()
+    def go_home(self):
+        self.ur3e.go_to_home_pose()
+        self.arm_at = "home"
+
+    @precondition(lambda self: self.arm_at != "dosing_interior")
+    @rule()
+    def stage_at_grid(self):
+        self.ur3e.move_to_location("grid_a1_safe")
+        self.arm_at = "grid_a1_safe"
+
+    @precondition(lambda self: self.arm_at != "dosing_interior")
+    @rule()
+    def stage_at_hotplate(self):
+        self.ur3e.move_to_location("hotplate_safe")
+        self.arm_at = "hotplate_safe"
+
+    # -- vial ferrying --------------------------------------------------------------
+
+    @precondition(
+        lambda self: not self.holding and self.vial_at == "grid_a1"
+        and self.arm_at == "grid_a1_safe"
+    )
+    @rule()
+    def pick_from_grid(self):
+        self.ur3e.pick_up_vial("grid_a1")
+        self.ur3e.move_to_location("grid_a1_safe")
+        self.holding = True
+        self.vial_at = "held"
+
+    @precondition(lambda self: self.holding and self.arm_at == "grid_a1_safe")
+    @rule()
+    def place_on_grid(self):
+        self.ur3e.place_vial("grid_a1")
+        self.ur3e.move_to_location("grid_a1_safe")
+        self.holding = False
+        self.vial_at = "grid_a1"
+
+    @precondition(
+        lambda self: self.holding and self.door_open and self.arm_at != "dosing_interior"
+    )
+    @rule()
+    def place_in_dosing(self):
+        self.ur3e.move_to_location("dosing_approach")
+        self.ur3e.place_vial("dosing_interior")
+        self.ur3e.move_to_location("dosing_approach")
+        self.arm_at = "dosing_approach"
+        self.holding = False
+        self.vial_at = "dosing_interior"
+
+    @precondition(
+        lambda self: not self.holding
+        and self.vial_at == "dosing_interior"
+        and self.door_open
+    )
+    @rule()
+    def pick_from_dosing(self):
+        self.ur3e.move_to_location("dosing_approach")
+        self.ur3e.pick_up_vial("dosing_interior")
+        self.ur3e.move_to_location("dosing_approach")
+        self.arm_at = "dosing_approach"
+        self.holding = True
+        self.vial_at = "held"
+
+    @precondition(
+        lambda self: self.holding and self.arm_at == "hotplate_safe" and not self.hotplate_on
+    )
+    @rule()
+    def place_on_hotplate(self):
+        self.ur3e.place_vial("hotplate_top")
+        self.ur3e.move_to_location("hotplate_safe")
+        self.holding = False
+        self.vial_at = "hotplate_top"
+
+    @precondition(
+        lambda self: not self.holding
+        and self.vial_at == "hotplate_top"
+        and not self.hotplate_on
+        and self.arm_at == "hotplate_safe"
+    )
+    @rule()
+    def pick_from_hotplate(self):
+        self.ur3e.pick_up_vial("hotplate_top")
+        self.ur3e.move_to_location("hotplate_safe")
+        self.holding = True
+        self.vial_at = "held"
+
+    # -- stopper ---------------------------------------------------------------------
+
+    @precondition(lambda self: self.stoppered and self.vial_at == "grid_a1")
+    @rule()
+    def decap(self):
+        self.vial.decap_vial()
+        self.stoppered = False
+
+    @precondition(lambda self: not self.stoppered and self.vial_at == "grid_a1")
+    @rule()
+    def cap(self):
+        self.vial.cap_vial()
+        self.stoppered = True
+
+    # -- dosing -----------------------------------------------------------------------
+
+    @precondition(
+        lambda self: self.vial_at == "dosing_interior"
+        and not self.door_open  # closed for dosing (G9)
+        and not self.stoppered  # open vial (G7)
+        and self.vial_solid <= 4.0  # capacity headroom (G8)
+    )
+    @rule()
+    def dose_solid(self):
+        self.dosing.dose_solid(3.0)
+        self.dosing.stop_action()
+        self.vial_solid += 3.0
+
+    # -- heating -----------------------------------------------------------------------
+
+    @precondition(
+        lambda self: self.vial_at == "hotplate_top" and self.vial_solid > 0
+        and not self.hotplate_on
+    )
+    @rule()
+    def heat(self):
+        self.hotplate.stir_solution(60.0)
+        self.hotplate_on = True
+
+    @precondition(lambda self: self.hotplate_on)
+    @rule()
+    def stop_heat(self):
+        self.hotplate.stop_action()
+        self.hotplate_on = False
+
+    # -- invariants ----------------------------------------------------------------------
+
+    @invariant()
+    def no_false_positives(self):
+        assert self.rabit.alert_count == 0, [str(a) for a in self.rabit.alerts]
+
+    @invariant()
+    def no_physical_damage(self):
+        assert self.deck.world.damage_log == ()
+
+    @invariant()
+    def belief_matches_ground_truth(self):
+        believed = self.rabit.state.get("container_at", "vial_1")
+        actual = self.deck.vials["vial_1"].resting_at
+        assert believed == actual
+
+
+LegalOperationMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
+TestLegalOperations = LegalOperationMachine.TestCase

@@ -1,0 +1,116 @@
+"""Tests for the workflow scripting layer itself."""
+
+import pytest
+
+from repro.core.errors import Alert, AlertKind, SafetyViolation
+from repro.kinematics.arm import UnreachableTargetError
+from repro.lab.workflows import (
+    ScriptLine,
+    WorkflowResult,
+    build_centrifuge_workflow,
+    build_solubility_workflow,
+    build_testbed_workflow,
+    pick_up_object,
+    place_object,
+    run_workflow,
+)
+
+
+def line(line_id, fn):
+    return ScriptLine(line_id, line_id, fn)
+
+
+class TestRunWorkflow:
+    def test_runs_all_lines_in_order(self):
+        seen = []
+        lines = [line(f"l{i}", lambda i=i: seen.append(i)) for i in range(4)]
+        result = run_workflow(lines)
+        assert result.completed
+        assert seen == [0, 1, 2, 3]
+        assert result.executed_lines == ["l0", "l1", "l2", "l3"]
+
+    def test_stops_on_safety_violation(self):
+        alert = Alert(AlertKind.INVALID_COMMAND, "nope", rule_id="G1")
+
+        def boom():
+            raise SafetyViolation(alert)
+
+        result = run_workflow([line("ok", lambda: None), line("bad", boom), line("after", lambda: None)])
+        assert not result.completed
+        assert result.stopped_by_rabit
+        assert result.alert is alert
+        assert result.executed_lines == ["ok"]
+
+    def test_stops_on_device_error(self):
+        def boom():
+            raise UnreachableTargetError("ned2", (0, 0, 5), 3.0)
+
+        result = run_workflow([line("bad", boom)])
+        assert not result.completed
+        assert result.stopped_by_device and not result.stopped_by_rabit
+        assert "ned2" in result.device_error
+
+    def test_other_exceptions_propagate(self):
+        def boom():
+            raise RuntimeError("unexpected")
+
+        with pytest.raises(RuntimeError):
+            run_workflow([line("bad", boom)])
+
+
+class TestWorkflowBuilders:
+    def test_solubility_line_ids_unique(self):
+        from repro.lab.hein import build_hein_deck, make_hein_rabit
+
+        _, proxies, _ = make_hein_rabit(build_hein_deck())
+        lines = build_solubility_workflow(proxies)
+        ids = [l.line_id for l in lines]
+        assert len(ids) == len(set(ids))
+        assert "dose_solid" in ids and "place_vial_centrifuge" in ids
+
+    def test_testbed_line_ids_cover_fig5_annotations(self):
+        from repro.testbed.deck import build_testbed_deck, make_testbed_rabit
+
+        _, proxies, _ = make_testbed_rabit(build_testbed_deck())
+        ids = [l.line_id for l in build_testbed_workflow(proxies)]
+        # The mutation anchor points of Bugs A and C must exist.
+        assert "open_door_after_dose" in ids  # Fig. 5 line 23 (Bug A)
+        assert "pick_grid" in ids  # Fig. 5 line 15 (Bug C)
+        assert "place_grid" in ids  # Fig. 5 line 26
+
+    def test_centrifuge_leg_has_cap_line(self):
+        from repro.testbed.deck import build_testbed_deck, make_testbed_rabit
+
+        _, proxies, _ = make_testbed_rabit(build_testbed_deck())
+        ids = [l.line_id for l in build_centrifuge_workflow(proxies)]
+        assert ids[0] == "cap_vial"  # the H6 deletion target
+        assert "spin" in ids
+
+    def test_dissolution_rounds_scale_line_count(self):
+        from repro.lab.hein import build_hein_deck, make_hein_rabit
+
+        _, proxies, _ = make_hein_rabit(build_hein_deck())
+        short = build_solubility_workflow(proxies, dissolution_rounds=1)
+        long = build_solubility_workflow(proxies, dissolution_rounds=3)
+        assert len(long) == len(short) + 6  # 3 lines per extra round
+
+
+class TestHelpers:
+    def test_pick_place_helpers_trace_constituents(self):
+        from repro.testbed.deck import build_testbed_deck, make_testbed_rabit
+
+        deck = build_testbed_deck()
+        _, proxies, trace = make_testbed_rabit(deck)
+        pick_up_object(proxies["viperx"], "grid_nw_viperx_safe", "grid_nw_viperx")
+        methods = [r.method for r in trace]
+        assert methods == [
+            "move_to_location",
+            "open_gripper",
+            "move_to_location",
+            "close_gripper",
+            "move_to_location",
+        ]
+        assert deck.viperx.holding == "vial_t1"
+        place_object(proxies["viperx"], "grid_nw_viperx_safe", "grid_nw_viperx")
+        assert deck.viperx.holding is None
+        assert deck.world.occupant("grid_nw_viperx") == "vial_t1"
