@@ -1,6 +1,6 @@
 # Convenience targets for the RABIT reproduction.
 
-.PHONY: install test bench examples campaign latency clean
+.PHONY: install test bench examples campaign latency check clean
 
 install:
 	pip install -e .[dev]
@@ -23,6 +23,14 @@ campaign:
 
 latency:
 	python -m repro latency
+
+# The CI gate: full tier-1 suite, the scalar-vs-batch differential and
+# cache-parity harnesses explicitly, and a latency smoke run proving the
+# §II-C virtual-clock figures still reproduce.
+check:
+	PYTHONPATH=src python -m pytest -x -q tests/
+	PYTHONPATH=src python -m pytest -q tests/test_collision_differential.py tests/test_stateful_no_false_positives.py
+	PYTHONPATH=src python -m pytest -q benchmarks/test_collision_throughput.py benchmarks/test_latency_overhead.py
 
 clean:
 	rm -rf .pytest_cache benchmarks/results __pycache__

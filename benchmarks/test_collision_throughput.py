@@ -1,0 +1,110 @@
+"""Collision sweep throughput: scalar reference vs batch engine.
+
+The Extended Simulator's deck sweep is S trajectory samples against N
+configured cuboids per command — the dominant real-CPU cost once the
+§II-C GUI charge is bypassed.  This benchmark times the same 200-segment
+× 20-cuboid scene through both implementations, asserts they agree on
+every single pair (the differential suite's invariant, re-checked on the
+benchmark scene), and requires the batch path to be at least 5× faster.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.geometry.batch import BatchCollisionEngine
+from repro.geometry.collision import segment_cuboid_entry_time
+from repro.geometry.shapes import Cuboid
+
+N_SEGMENTS = 200
+N_CUBOIDS = 20
+MIN_SPEEDUP = 5.0
+
+
+def _scene(seed: int = 7):
+    rng = np.random.default_rng(seed)
+    cuboids = []
+    for i in range(N_CUBOIDS):
+        lo = rng.uniform(-1.0, 0.8, size=3)
+        hi = lo + rng.uniform(0.05, 0.5, size=3)
+        cuboids.append(Cuboid(tuple(lo), tuple(hi), name=f"box_{i}"))
+    starts = rng.uniform(-1.2, 1.2, size=(N_SEGMENTS, 3))
+    ends = rng.uniform(-1.2, 1.2, size=(N_SEGMENTS, 3))
+    return cuboids, starts, ends
+
+
+def _scalar_sweep(cuboids, starts, ends):
+    out = np.full((len(starts), len(cuboids)), np.nan)
+    for s in range(len(starts)):
+        p0, p1 = starts[s], ends[s]
+        for n, box in enumerate(cuboids):
+            t = segment_cuboid_entry_time(p0, p1, box)
+            if t is not None:
+                out[s, n] = t
+    return out
+
+
+def _best_of(k, fn):
+    best = float("inf")
+    for _ in range(k):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_collision_throughput(emit, benchmark):
+    cuboids, starts, ends = _scene()
+    engine = BatchCollisionEngine(cuboids)
+
+    # Correctness first: the two paths must agree on every pair of the
+    # benchmark scene before their timings mean anything.
+    scalar_times = _scalar_sweep(cuboids, starts, ends)
+    batch_times = engine.segment_entry_times(starts, ends)
+    scalar_hit = ~np.isnan(scalar_times)
+    batch_hit = ~np.isnan(batch_times)
+    assert np.array_equal(scalar_hit, batch_hit)
+    assert np.array_equal(scalar_times[scalar_hit], batch_times[batch_hit])
+
+    pairs = N_SEGMENTS * N_CUBOIDS
+    t_scalar = _best_of(3, lambda: _scalar_sweep(cuboids, starts, ends))
+    t_batch = _best_of(10, lambda: engine.segment_entry_times(starts, ends))
+    speedup = t_scalar / t_batch
+
+    rows = [
+        [
+            "scalar reference",
+            f"{t_scalar * 1e3:.2f} ms",
+            f"{N_SEGMENTS / t_scalar:,.0f}",
+            f"{pairs / t_scalar:,.0f}",
+            "1.0x",
+        ],
+        [
+            "batch engine",
+            f"{t_batch * 1e3:.2f} ms",
+            f"{N_SEGMENTS / t_batch:,.0f}",
+            f"{pairs / t_batch:,.0f}",
+            f"{speedup:.1f}x",
+        ],
+    ]
+    rendered = format_table(
+        ["implementation", "sweep time", "segments/s", "pair checks/s", "speedup"],
+        rows,
+        title=(
+            f"Collision sweep throughput "
+            f"({N_SEGMENTS} segments x {N_CUBOIDS} cuboids, 0 disagreements)"
+        ),
+    )
+    emit("collision_throughput", rendered)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch engine only {speedup:.1f}x faster than scalar "
+        f"(required: {MIN_SPEEDUP}x)"
+    )
+
+    benchmark(lambda: engine.segment_entry_times(starts, ends))
+    benchmark.extra_info["speedup_vs_scalar"] = round(speedup, 1)
+    benchmark.extra_info["segments_per_second_batch"] = round(N_SEGMENTS / t_batch)
+    benchmark.extra_info["segments_per_second_scalar"] = round(N_SEGMENTS / t_scalar)

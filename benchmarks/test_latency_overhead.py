@@ -66,3 +66,7 @@ def test_latency_overhead(emit, benchmark):
         name: f"{reports[name].overhead_per_command:.4f}s ({reports[name].overhead_percent:.1f}%)"
         for name in reports
     }
+    # Real-CPU effect of the rule-verdict cache on the repeated kernel
+    # (virtual-clock charges above are unaffected by memoization).
+    if rabit.rule_cache is not None:
+        benchmark.extra_info["rule_cache"] = rabit.rule_cache.stats()

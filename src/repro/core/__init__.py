@@ -30,6 +30,7 @@ from repro.core.model import (
     RabitLabModel,
 )
 from repro.core.rulebase import Rule, RuleBase, RuleScope, build_default_rulebase
+from repro.core.rulecache import RuleVerdictCache
 from repro.core.monitor import Rabit, RabitOptions
 from repro.core.interceptor import DeviceProxy, CommandRecord, instrument
 from repro.core.multiplexing import TimeMultiplexer, SpaceMultiplexer
@@ -52,6 +53,7 @@ __all__ = [
     "RuleBase",
     "RuleScope",
     "build_default_rulebase",
+    "RuleVerdictCache",
     "Rabit",
     "RabitOptions",
     "DeviceProxy",

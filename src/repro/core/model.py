@@ -109,6 +109,11 @@ class RabitLabModel:
         #: Per-frame reachable-workspace cuboids, enforced only by
         #: modified RABIT (the post-campaign wall/deck-edge fix).
         self.workspace_bounds: Dict[str, Cuboid] = {}
+        #: Bumped on every structural mutation (devices, obstacles,
+        #: locations).  The rule-verdict cache and the Extended Simulator's
+        #: packed-engine cache key on it, so time multiplexing swapping a
+        #: sleeping arm's cuboid in or out invalidates both.
+        self.geometry_revision: int = 0
 
     # -- population -------------------------------------------------------------
 
@@ -117,6 +122,7 @@ class RabitLabModel:
         if device.name in self._devices:
             raise ValueError(f"duplicate device {device.name!r} in configuration")
         self._devices[device.name] = device
+        self.geometry_revision += 1
         return device
 
     def add_obstacle(self, obstacle: ObstacleModel) -> ObstacleModel:
@@ -124,18 +130,51 @@ class RabitLabModel:
         if obstacle.name in self._obstacles:
             raise ValueError(f"duplicate obstacle {obstacle.name!r} in configuration")
         self._obstacles[obstacle.name] = obstacle
+        self.geometry_revision += 1
         return obstacle
 
     def remove_obstacle(self, name: str) -> None:
         """Drop an obstacle (time multiplexing swaps arm cuboids in and out)."""
-        self._obstacles.pop(name, None)
+        if self._obstacles.pop(name, None) is not None:
+            self.geometry_revision += 1
 
     def add_location(self, location: LocationModel) -> LocationModel:
         """Register a location description."""
         if location.name in self._locations:
             raise ValueError(f"duplicate location {location.name!r} in configuration")
         self._locations[location.name] = location
+        self.geometry_revision += 1
         return location
+
+    def invalidate_caches(self) -> None:
+        """Force-bump the revision after an out-of-band mutation.
+
+        Call this after editing model structures in place (e.g. mutating an
+        :class:`ObstacleModel`'s frames directly) so revision-keyed caches
+        (rule verdicts, packed collision engines) drop their entries.
+        """
+        self.geometry_revision += 1
+
+    def belief_fingerprint(self) -> Tuple:
+        """Everything rule checks read from the model that can change at
+        run time, digested for the rule-verdict cache key.
+
+        Walls are appended per frame by space multiplexing without going
+        through a mutator, so the (frozen, hashable) walls themselves are
+        folded in here alongside the structural revision counter, as are
+        the workspace-bound corners.
+        """
+        return (
+            self.geometry_revision,
+            self.reliable_container_tracking,
+            tuple(sorted((frame, tuple(ws)) for frame, ws in self.walls.items())),
+            tuple(
+                sorted(
+                    (frame, c.min_corner, c.max_corner)
+                    for frame, c in self.workspace_bounds.items()
+                )
+            ),
+        )
 
     # -- queries -----------------------------------------------------------------
 

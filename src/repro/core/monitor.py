@@ -36,6 +36,7 @@ from repro.core.clock import VirtualClock
 from repro.core.errors import Alert, AlertKind, SafetyViolation
 from repro.core.model import RabitLabModel
 from repro.core.rulebase import CheckContext, RuleBase, build_default_rulebase
+from repro.core.rulecache import MISS, RuleVerdictCache
 from repro.core.state import LabState
 from repro.devices.base import Device
 
@@ -85,6 +86,10 @@ class RabitOptions:
     gui_latency: float = 2.0
     #: Whether the Extended Simulator's GUI is bypassed (deployment plan).
     bypass_gui: bool = False
+    #: Max entries of the rule-verdict cache; 0 disables it (every command
+    #: pays the full rulebase scan — the reference behaviour the cache's
+    #: property tests compare against).
+    rule_cache_size: int = 256
 
     @classmethod
     def initial(cls, **overrides: Any) -> "RabitOptions":
@@ -122,6 +127,12 @@ class Rabit:
         self.clock = clock or VirtualClock()
         self.transition_table = TransitionTable()
         self.state = LabState()
+        #: Memoized rulebase verdicts (None when disabled via options).
+        self.rule_cache: Optional[RuleVerdictCache] = (
+            RuleVerdictCache(self.options.rule_cache_size)
+            if self.options.rule_cache_size > 0
+            else None
+        )
         #: Every alert raised so far (kept even in fail-safe mode).
         self.alerts: List[Alert] = []
         #: Post-action observers (the time multiplexer registers here).
@@ -239,6 +250,38 @@ class Rabit:
     # ------------------------------------------------------------------
 
     def _validate(self, call: ActionCall) -> Optional[tuple]:
+        verdict = self._rulebase_verdict(call)
+        if verdict is not None:
+            return verdict
+        # Extra preconditions (the multiplexing hook) run uncached: they
+        # may consult ambient context (e.g. the virtual clock) that the
+        # cache key cannot see.
+        for precondition in self.model.extra_preconditions:
+            message = precondition(self.state, call)
+            if message is not None:
+                return None, message
+        return None
+
+    def _rulebase_verdict(self, call: ActionCall) -> Optional[tuple]:
+        """First violated rule as ``(rule_id, message)``, memoized.
+
+        The cache key covers everything the rulebase scan reads — the call,
+        the full state contents, the rulebase revision, and the model's
+        mutable beliefs — so repeated safe commands against unchanged state
+        skip the scan entirely while any state transition, added rule, or
+        model mutation forces a fresh evaluation.
+        """
+        key = None
+        if self.rule_cache is not None:
+            key = (
+                call,
+                self.state.fingerprint(),
+                self.rulebase.revision,
+                self.model.belief_fingerprint(),
+            )
+            cached = self.rule_cache.lookup(key)
+            if cached is not MISS:
+                return cached
         ctx = CheckContext(
             state=self.state,
             call=call,
@@ -248,14 +291,13 @@ class Rabit:
             enforce_capacity=self.options.enforce_capacity,
         )
         hit = self.rulebase.check_action(ctx)
+        verdict = None
         if hit is not None:
             rule, message = hit
-            return rule.rule_id, message
-        for precondition in self.model.extra_preconditions:
-            message = precondition(self.state, call)
-            if message is not None:
-                return None, message
-        return None
+            verdict = (rule.rule_id, message)
+        if self.rule_cache is not None:
+            self.rule_cache.store(key, verdict)
+        return verdict
 
     def _alert(self, alert: Alert) -> None:
         self.alerts.append(alert)

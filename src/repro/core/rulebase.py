@@ -94,12 +94,16 @@ class RuleBase:
 
     def __init__(self, rules: Sequence[Rule] = ()) -> None:
         self._rules: List[Rule] = list(rules)
+        #: Bumped on every mutation; the rule-verdict cache keys on it so
+        #: adding a rule at run time invalidates all cached verdicts.
+        self.revision: int = 0
 
     def add(self, rule: Rule) -> None:
         """Register an additional rule (lab-specific customization)."""
         if any(r.rule_id == rule.rule_id for r in self._rules):
             raise ValueError(f"duplicate rule id {rule.rule_id!r}")
         self._rules.append(rule)
+        self.revision += 1
 
     def rules(self, scope: Optional[RuleScope] = None) -> Tuple[Rule, ...]:
         """All rules, optionally filtered by scope."""

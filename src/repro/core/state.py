@@ -69,6 +69,8 @@ class LabState:
 
     def __init__(self) -> None:
         self._vars: Dict[str, Dict[str, Any]] = {var: {} for var in ALL_VARS}
+        #: Lazily computed content fingerprint; ``None`` means stale.
+        self._fingerprint: Optional[Tuple] = None
 
     # -- access ----------------------------------------------------------------
 
@@ -81,6 +83,7 @@ class LabState:
         """Set state variable *var* for *key* to *value*."""
         self._check_var(var)
         self._vars[var][key] = value
+        self._fingerprint = None
 
     def entries(self, var: str) -> Dict[str, Any]:
         """All ``key -> value`` entries of one variable."""
@@ -109,6 +112,7 @@ class LabState:
         dup = LabState()
         for var, entries in self._vars.items():
             dup._vars[var] = dict(entries)
+        dup._fingerprint = self._fingerprint
         return dup
 
     def merge_observed(self, observed: "LabState") -> "LabState":
@@ -119,7 +123,28 @@ class LabState:
         for var in OBSERVABLE_VARS:
             for key, value in observed._vars[var].items():
                 merged._vars[var][key] = value
+        merged._fingerprint = None
         return merged
+
+    # -- fingerprinting -----------------------------------------------------
+
+    def fingerprint(self) -> Tuple:
+        """A stable, hashable digest of the full state contents.
+
+        Two snapshots with equal contents produce equal fingerprints, and
+        any mutation through :meth:`set` / :meth:`merge_observed`
+        invalidates the cached value.  The rule-verdict cache keys on this
+        (plus the action call), so a verdict computed under one state can
+        never be served under a different one — the digest is the actual
+        content tuple, not a lossy hash, so collisions are impossible.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = tuple(
+                (var, tuple(sorted(self._vars[var].items())))
+                for var in sorted(self._vars)
+                if self._vars[var]
+            )
+        return self._fingerprint
 
     # -- comparison ---------------------------------------------------------------
 

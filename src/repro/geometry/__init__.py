@@ -10,7 +10,11 @@ This package is the lowest layer of the stack.  It provides:
   device on the experiment deck as a 3D cuboid object").
 - :mod:`repro.geometry.collision` -- point/segment/box intersection tests used
   by both the target-location precondition check and the full trajectory
-  sweep of the Extended Simulator.
+  sweep of the Extended Simulator.  These scalar functions are the
+  *reference implementation*; the batch engine must agree with them exactly.
+- :mod:`repro.geometry.batch` -- :class:`BatchCollisionEngine`, the
+  vectorized fast path: all deck cuboids packed into ``(N, 3)`` arrays,
+  all trajectory segments swept in one broadcasted slab-method pass.
 - :mod:`repro.geometry.walls` -- software-defined walls used for space
   multiplexing of multiple robot arms.
 """
@@ -43,6 +47,7 @@ from repro.geometry.collision import (
     CollisionHit,
     first_collision,
 )
+from repro.geometry.batch import BatchCollisionEngine
 from repro.geometry.walls import SoftwareWall, Workspace
 
 __all__ = [
@@ -73,6 +78,7 @@ __all__ = [
     "polyline_intersects_cuboid",
     "CollisionHit",
     "first_collision",
+    "BatchCollisionEngine",
     "SoftwareWall",
     "Workspace",
 ]

@@ -39,6 +39,16 @@ def segment_cuboid_entry_time(
     Returns ``None`` if the segment misses the cuboid.  Uses the slab method:
     intersect the parametric line with each axis-aligned slab and keep the
     overlap of the three parameter intervals.
+
+    Boundary convention: cuboids are **closed**, matching
+    :meth:`Cuboid.contains` and :func:`cuboids_overlap` — a segment that
+    merely grazes a face, edge, or corner counts as entering.  The parallel
+    branch therefore triggers only on an exactly zero displacement component
+    (``d == 0.0``); a tiny-but-nonzero component goes through the division
+    path, so a segment ending exactly on a face is a hit no matter how short
+    it is.  (An earlier revision used an epsilon threshold here, which
+    rejected sub-epsilon segments whose endpoint lay exactly on a face even
+    though ``contains`` accepted that endpoint.)
     """
     p0 = as_vec3(start)
     p1 = as_vec3(end)
@@ -48,8 +58,9 @@ def segment_cuboid_entry_time(
     t_exit = 1.0
     for axis in range(3):
         lo, hi = cuboid.lo[axis], cuboid.hi[axis]
-        if abs(d[axis]) < 1e-15:
-            # Segment parallel to this slab: must already be inside it.
+        if d[axis] == 0.0:
+            # Segment parallel to this slab: must already be inside it
+            # (faces included — the closed convention).
             if p0[axis] < lo or p0[axis] > hi:
                 return None
             continue

@@ -37,17 +37,36 @@ class JointTrajectory:
         if len(self.q_start) != self.chain.dof or len(self.q_end) != self.chain.dof:
             raise ValueError("joint vectors must match the chain's degrees of freedom")
 
+    def sample_array(self, resolution: int = 40) -> np.ndarray:
+        """Polled joint vectors as one packed ``(resolution + 1, dof)`` array.
+
+        The packed form is what the batch collision fast path consumes:
+        one array out of the sampler, one broadcasted sweep in the checker,
+        no per-sample Python loop in between.  Element ``[i]`` is exactly
+        ``q0 + (q1 - q0) * (i / resolution)`` — the same float64 arithmetic
+        as the scalar :meth:`sample`, so the two stay bit-identical.
+        """
+        if resolution < 1:
+            raise ValueError("resolution must be at least 1")
+        q0 = np.asarray(self.q_start, dtype=np.float64)
+        q1 = np.asarray(self.q_end, dtype=np.float64)
+        steps = np.arange(resolution + 1, dtype=np.float64) / resolution
+        return q0[None, :] + (q1 - q0)[None, :] * steps[:, None]
+
     def sample(self, resolution: int = 40) -> List[np.ndarray]:
         """Joint vectors at *resolution* + 1 evenly spaced instants.
 
         This plays the role of the Extended Simulator's trajectory polling:
         each returned vector is one observation of the arm mid-motion.
         """
-        if resolution < 1:
-            raise ValueError("resolution must be at least 1")
-        q0 = np.asarray(self.q_start, dtype=np.float64)
-        q1 = np.asarray(self.q_end, dtype=np.float64)
-        return [q0 + (q1 - q0) * (i / resolution) for i in range(resolution + 1)]
+        return list(self.sample_array(resolution))
+
+    def end_effector_path_array(self, resolution: int = 40) -> np.ndarray:
+        """Cartesian end-effector polyline as a packed ``(R + 1, 3)`` array."""
+        return np.array(
+            [self.chain.end_effector_position(q) for q in self.sample(resolution)],
+            dtype=np.float64,
+        )
 
     def end_effector_path(self, resolution: int = 40) -> List[Vec3]:
         """Cartesian polyline traced by the end effector."""

@@ -18,11 +18,25 @@ All geometry comes from RABIT's *configuration* (the JSON-derived
 :class:`~repro.core.model.RabitLabModel`), never from ground truth — the
 simulator is only as good as the researcher's cuboid entries, which is
 the paper's stated limitation about non-cuboid devices.
+
+Two sweep implementations coexist:
+
+- :meth:`ExtendedSimulator._sweep_scalar` is the reference: a per-sample
+  Python loop, verbatim the paper's description.
+- :meth:`ExtendedSimulator._sweep_batch` (the default) packs the deck's
+  cuboids into a cached :class:`~repro.geometry.batch.BatchCollisionEngine`
+  per ``(frame, excluded devices)`` and evaluates every polled sample
+  against every cuboid in one broadcasted pass.  Engines are invalidated
+  by the model's ``geometry_revision``, so time multiplexing swapping a
+  sleeping arm's cuboid in or out rebuilds them.
+
+The two produce identical verdicts and identical messages; the
+differential test suite pins that equivalence.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +44,7 @@ from repro.core.actions import ActionCall, ActionLabel
 from repro.core.model import RabitLabModel
 from repro.core.state import LabState
 from repro.devices.robot import RobotArmDevice
+from repro.geometry.batch import BatchCollisionEngine
 from repro.geometry.shapes import Cuboid
 from repro.kinematics.arm import TrajectoryPlan, UnreachableTargetError
 
@@ -40,9 +55,21 @@ class ExtendedSimulator:
     #: Trajectory polling resolution (samples per motion).
     RESOLUTION = 30
 
-    def __init__(self, robots: Dict[str, RobotArmDevice]) -> None:
+    def __init__(
+        self, robots: Dict[str, RobotArmDevice], use_batch: bool = True
+    ) -> None:
         #: The real arm devices the simulator polls for current postures.
         self._robots = dict(robots)
+        #: Whether to sweep with the vectorized engine (the fast path) or
+        #: the scalar per-sample reference loop.
+        self.use_batch = use_batch
+        #: Packed engines per (frame, excluded devices), rebuilt whenever
+        #: the model's geometry revision moves.
+        self._engine_cache: Dict[
+            Tuple[str, Tuple[str, ...]],
+            Tuple[BatchCollisionEngine, BatchCollisionEngine, int, int],
+        ] = {}
+        self._engine_revision: Optional[int] = None
 
     # ------------------------------------------------------------------
     # TrajectoryChecker protocol
@@ -80,11 +107,6 @@ class ExtendedSimulator:
             if loc.kind == "grid_slot" and loc.device:
                 exclude.append(loc.device)
 
-        obstacles = model.obstacles_for_frame(frame, exclude=exclude)
-        surfaces = model.surfaces_for_frame(frame, exclude=exclude)
-        walls = model.walls.get(frame, [])
-        bounds = model.workspace_bounds.get(frame)
-
         held = (
             state.get("robot_holding", call.robot)
             if account_held_objects
@@ -94,15 +116,138 @@ class ExtendedSimulator:
         # The controller executes deck moves as straight tool-line motions
         # (moveL semantics); sweep the straight end-effector segment from
         # the arm's polled current position to the target — the same path
-        # the ground-truth physics sweeps.
-        ee_start = robot.kinematics.current_position()
-        ee_end = plan.trajectory.chain.end_effector_position(plan.trajectory.q_end)
-        ee_samples = [
-            ee_start + (ee_end - ee_start) * (i / self.RESOLUTION)
-            for i in range(self.RESOLUTION + 1)
-        ]
+        # the ground-truth physics sweeps.  The sampler emits one packed
+        # (RESOLUTION + 1, 3) array; element i is exactly
+        # ``start + (end - start) * (i / RESOLUTION)``, bit-identical to
+        # the scalar loop's arithmetic.
+        ee_start = np.asarray(robot.kinematics.current_position(), dtype=np.float64)
+        ee_end = np.asarray(
+            plan.trajectory.chain.end_effector_position(plan.trajectory.q_end),
+            dtype=np.float64,
+        )
+        steps = np.arange(self.RESOLUTION + 1, dtype=np.float64) / self.RESOLUTION
+        samples = ee_start[None, :] + (ee_end - ee_start)[None, :] * steps[:, None]
 
-        for ee in ee_samples:
+        sweep = self._sweep_batch if self.use_batch else self._sweep_scalar
+        return sweep(call, model, frame, exclude, robot_model, held, samples)
+
+    # ------------------------------------------------------------------
+    # Batched sweep (the fast path)
+    # ------------------------------------------------------------------
+
+    def _sweep_batch(
+        self,
+        call: ActionCall,
+        model: RabitLabModel,
+        frame: str,
+        exclude: List[str],
+        robot_model,
+        held: Optional[str],
+        samples: np.ndarray,
+    ) -> Optional[str]:
+        obst_engine, full_engine = self._engines_for(model, frame, exclude)
+        walls = model.walls.get(frame, [])
+        bounds = model.workspace_bounds.get(frame)
+
+        # One containment matrix per probe family, all samples at once.
+        arm_hit = obst_engine.first_containing(samples)
+        tips = samples - np.array([0.0, 0.0, robot_model.gripper_clearance])
+        tip_hit = full_engine.first_containing(tips)
+        held_hit = None
+        if held is not None:
+            vial_tips = samples - np.array([0.0, 0.0, robot_model.held_drop])
+            held_hit = full_engine.first_containing(vial_tips)
+
+        bad = (arm_hit >= 0) | (tip_hit >= 0)
+        if held_hit is not None:
+            bad |= held_hit >= 0
+        wall_bad = np.zeros((len(samples), len(walls)), dtype=bool)
+        for j, wall in enumerate(walls):
+            n = np.asarray(wall.normal, dtype=np.float64)
+            wall_bad[:, j] = samples @ n > wall.offset + 1e-9
+        if walls:
+            bad |= wall_bad.any(axis=1)
+        bounds_bad = None
+        if bounds is not None:
+            bounds_bad = ~np.all(
+                (samples >= np.asarray(bounds.lo)) & (samples <= np.asarray(bounds.hi)),
+                axis=1,
+            )
+            bad |= bounds_bad
+
+        if not bad.any():
+            return None
+
+        # First failing sample, probes in the reference order: arm,
+        # gripper tip, held vial, walls, bounds — identical messages to
+        # the scalar loop.
+        i = int(np.argmax(bad))
+        if arm_hit[i] >= 0:
+            return (
+                f"simulated trajectory of {call.robot!r}: arm would "
+                f"collide with {obst_engine.names[arm_hit[i]]!r}"
+            )
+        if tip_hit[i] >= 0:
+            return (
+                f"simulated trajectory of {call.robot!r}: gripper would "
+                f"collide with {full_engine.names[tip_hit[i]]!r}"
+            )
+        if held_hit is not None and held_hit[i] >= 0:
+            return (
+                f"simulated trajectory of {call.robot!r}: held vial "
+                f"{held!r} would collide with {full_engine.names[held_hit[i]]!r}"
+            )
+        if walls and wall_bad[i].any():
+            wall = walls[int(np.argmax(wall_bad[i]))]
+            return (
+                f"simulated trajectory of {call.robot!r} crosses "
+                f"software wall {wall.name!r}"
+            )
+        return (
+            f"simulated trajectory of {call.robot!r} leaves the "
+            f"configured workspace"
+        )
+
+    def _engines_for(
+        self, model: RabitLabModel, frame: str, exclude: Sequence[str]
+    ) -> Tuple[BatchCollisionEngine, BatchCollisionEngine]:
+        """Packed engines for (frame, exclude): obstacles-only and
+        obstacles+surfaces, cached until the model geometry changes."""
+        revision = model.geometry_revision
+        if revision != self._engine_revision:
+            self._engine_cache.clear()
+            self._engine_revision = revision
+        key = (frame, tuple(sorted(exclude)))
+        cached = self._engine_cache.get(key)
+        if cached is not None:
+            return cached[0], cached[1]
+        obstacles = model.obstacles_for_frame(frame, exclude=exclude)
+        surfaces = model.surfaces_for_frame(frame, exclude=exclude)
+        obst_engine = BatchCollisionEngine(obstacles)
+        full_engine = BatchCollisionEngine(list(obstacles) + list(surfaces))
+        self._engine_cache[key] = (obst_engine, full_engine, revision, len(obstacles))
+        return obst_engine, full_engine
+
+    # ------------------------------------------------------------------
+    # Scalar sweep (the reference implementation)
+    # ------------------------------------------------------------------
+
+    def _sweep_scalar(
+        self,
+        call: ActionCall,
+        model: RabitLabModel,
+        frame: str,
+        exclude: List[str],
+        robot_model,
+        held: Optional[str],
+        samples: np.ndarray,
+    ) -> Optional[str]:
+        obstacles = model.obstacles_for_frame(frame, exclude=exclude)
+        surfaces = model.surfaces_for_frame(frame, exclude=exclude)
+        walls = model.walls.get(frame, [])
+        bounds = model.workspace_bounds.get(frame)
+
+        for ee in samples:
             # Probe the polled tool point and gripper tip (position-only
             # control leaves the wrist orientation free, so the arm is
             # reduced to its tool for collision purposes — the same

@@ -1,0 +1,119 @@
+"""Unit tests for the §II-C latency report arithmetic.
+
+The latency-overhead *benchmark* asserts the end-to-end virtual-clock
+percentages; these tests pin the :class:`LatencyReport` arithmetic itself
+against hand-computed fixtures, so a refactor of the accounting cannot
+silently redefine what "overhead per command" or "overhead percent"
+means.
+"""
+
+import pytest
+
+from repro.analysis.latency import LatencyReport, measure_workflow_latency
+
+
+class TestLatencyReportArithmetic:
+    def test_total_seconds_is_experiment_plus_rabit(self):
+        report = LatencyReport(
+            configuration="rabit",
+            commands=100,
+            experiment_seconds=120.0,
+            rabit_seconds=3.0,
+        )
+        assert report.total_seconds == 123.0
+
+    def test_overhead_per_command_hand_computed(self):
+        # 3 s of monitor time spread over 100 commands = 0.03 s/command,
+        # the paper's no-Extended-Simulator figure.
+        report = LatencyReport(
+            configuration="rabit",
+            commands=100,
+            experiment_seconds=120.0,
+            rabit_seconds=3.0,
+        )
+        assert report.overhead_per_command == pytest.approx(0.03)
+
+    def test_overhead_percent_hand_computed(self):
+        # 134.4 s of monitor time over a 120 s experiment = 112 %, the
+        # paper's Extended-Simulator figure.
+        report = LatencyReport(
+            configuration="rabit+es",
+            commands=100,
+            experiment_seconds=120.0,
+            rabit_seconds=134.4,
+        )
+        assert report.overhead_percent == pytest.approx(112.0)
+
+    def test_zero_commands_does_not_divide_by_zero(self):
+        report = LatencyReport(
+            configuration="empty",
+            commands=0,
+            experiment_seconds=0.0,
+            rabit_seconds=0.0,
+        )
+        assert report.overhead_per_command == 0.0
+        assert report.overhead_percent == 0.0
+        assert report.total_seconds == 0.0
+
+    def test_zero_baseline_reports_zero_percent(self):
+        # A degenerate run where every second is attributed to RABIT must
+        # not raise; percent-of-nothing is defined as 0.
+        report = LatencyReport(
+            configuration="degenerate",
+            commands=5,
+            experiment_seconds=0.0,
+            rabit_seconds=1.0,
+        )
+        assert report.overhead_percent == 0.0
+        assert report.total_seconds == 1.0
+        assert report.overhead_per_command == pytest.approx(0.2)
+
+    def test_unmonitored_report_has_no_overhead(self):
+        report = LatencyReport(
+            configuration="unmonitored",
+            commands=42,
+            experiment_seconds=99.5,
+            rabit_seconds=0.0,
+        )
+        assert report.total_seconds == 99.5
+        assert report.overhead_per_command == 0.0
+        assert report.overhead_percent == 0.0
+
+
+class TestMeasureWorkflowLatency:
+    """Cross-configuration invariants of the full (virtual-clock) run."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return measure_workflow_latency()
+
+    def test_all_four_configurations_present(self, reports):
+        assert set(reports) == {
+            "unmonitored",
+            "rabit",
+            "rabit+es",
+            "rabit+es-headless",
+        }
+
+    def test_same_workflow_same_command_count(self, reports):
+        counts = {r.commands for r in reports.values()}
+        assert len(counts) == 1 and counts.pop() > 0
+
+    def test_experiment_time_identical_across_configurations(self, reports):
+        # Monitoring adds overhead; it must not change the experiment's
+        # own deterministic device charges.
+        times = {r.experiment_seconds for r in reports.values()}
+        assert len(times) == 1
+
+    def test_unmonitored_run_charges_no_rabit_time(self, reports):
+        assert reports["unmonitored"].rabit_seconds == 0.0
+
+    def test_monitoring_overhead_is_ordered(self, reports):
+        # unmonitored < rabit <= headless ES (GUI bypass removes the whole
+        # 2 s render charge) < GUI-loop ES.
+        assert 0.0 < reports["rabit"].rabit_seconds
+        assert (
+            reports["rabit"].rabit_seconds
+            <= reports["rabit+es-headless"].rabit_seconds
+            < reports["rabit+es"].rabit_seconds
+        )

@@ -15,9 +15,10 @@ failing command sequence, courtesy of hypothesis shrinking.
 """
 
 import pytest
-from hypothesis import settings
+from hypothesis import given, settings, strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
 
+from repro.core.monitor import RabitOptions
 from repro.lab.hein import build_hein_deck, make_hein_rabit
 
 
@@ -215,3 +216,103 @@ LegalOperationMachine.TestCase.settings = settings(
     max_examples=15, stateful_step_count=20, deadline=None
 )
 TestLegalOperations = LegalOperationMachine.TestCase
+
+
+# ---------------------------------------------------------------------------
+# Rule-verdict cache parity: cached and uncached monitors are observationally
+# identical.
+# ---------------------------------------------------------------------------
+
+#: Command palette for the parity fuzz: a deliberate mix of legal moves and
+#: rule-violating ones (dosing with the door open, double-picks, ferrying
+#: to an occupied slot...), each applied blindly regardless of prior state.
+_PARITY_COMMANDS = [
+    ("open_door", lambda p: p["dosing_device"].open_door()),
+    ("close_door", lambda p: p["dosing_device"].close_door()),
+    ("go_home", lambda p: p["ur3e"].go_to_home_pose()),
+    ("stage_grid", lambda p: p["ur3e"].move_to_location("grid_a1_safe")),
+    ("stage_hotplate", lambda p: p["ur3e"].move_to_location("hotplate_safe")),
+    ("stage_dosing", lambda p: p["ur3e"].move_to_location("dosing_approach")),
+    ("pick_grid", lambda p: p["ur3e"].pick_up_vial("grid_a1")),
+    ("place_grid", lambda p: p["ur3e"].place_vial("grid_a1")),
+    ("pick_dosing", lambda p: p["ur3e"].pick_up_vial("dosing_interior")),
+    ("place_dosing", lambda p: p["ur3e"].place_vial("dosing_interior")),
+    ("pick_hotplate", lambda p: p["ur3e"].pick_up_vial("hotplate_top")),
+    ("place_hotplate", lambda p: p["ur3e"].place_vial("hotplate_top")),
+    ("dose", lambda p: p["dosing_device"].dose_solid(3.0)),
+    ("stop_dosing", lambda p: p["dosing_device"].stop_action()),
+    ("heat", lambda p: p["hotplate"].stir_solution(60.0)),
+    ("stop_heat", lambda p: p["hotplate"].stop_action()),
+    ("cap", lambda p: p["vial_1"].cap_vial()),
+    ("decap", lambda p: p["vial_1"].decap_vial()),
+]
+
+
+def _fresh_monitor(cache_size):
+    """A Hein deck with a fail-safe (non-stopping) RABIT wired on."""
+    deck = build_hein_deck()
+    options = RabitOptions.modified(
+        preemptive_stop=False, rule_cache_size=cache_size
+    )
+    rabit, proxies, _ = make_hein_rabit(deck, options=options)
+    return rabit, proxies
+
+
+def _alert_trace(rabit):
+    return [
+        (a.kind, a.rule_id, a.message, a.command) for a in rabit.alerts
+    ]
+
+
+class TestRuleCacheParity:
+    """The memoized rulebase path may never change observable behaviour."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(_PARITY_COMMANDS), min_size=1, max_size=30
+        )
+    )
+    def test_cached_and_uncached_monitors_agree(self, commands):
+        cached, cached_proxies = _fresh_monitor(cache_size=256)
+        plain, plain_proxies = _fresh_monitor(cache_size=0)
+        assert cached.rule_cache is not None
+        assert plain.rule_cache is None
+
+        for name, run in commands:
+            run(cached_proxies)
+            run(plain_proxies)
+            # Alerts must match *after every command*, not just at the
+            # end — a stale verdict would fire (or suppress) an alert at
+            # the wrong step even if the final tallies coincided.
+            assert _alert_trace(cached) == _alert_trace(plain), name
+
+        # And the two monitors must have reached the same belief state.
+        assert cached.state.fingerprint() == plain.state.fingerprint()
+
+    def test_repeated_commands_actually_hit_the_cache(self):
+        rabit, proxies = _fresh_monitor(cache_size=256)
+        for _ in range(5):
+            proxies["ur3e"].go_to_home_pose()  # identical (call, state) key
+        stats = rabit.rule_cache.stats()
+        assert stats["hits"] >= 3
+        assert rabit.rule_cache.hit_rate > 0.0
+
+    def test_rulebase_mutation_invalidates_cached_verdicts(self):
+        from repro.core.actions import ActionLabel
+        from repro.core.rulebase import Rule, RuleScope
+
+        rabit, proxies = _fresh_monitor(cache_size=256)
+        proxies["ur3e"].go_to_home_pose()
+        assert rabit.alert_count == 0
+        rabit.rulebase.add(
+            Rule(
+                rule_id="T1",
+                scope=RuleScope.GENERAL,
+                description="no homing (test)",
+                labels=frozenset({ActionLabel.GO_HOME}),
+                check=lambda ctx: "homing forbidden",
+            )
+        )
+        proxies["ur3e"].go_to_home_pose()
+        assert rabit.alert_count == 1, [str(a) for a in rabit.alerts]
