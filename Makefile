@@ -1,9 +1,19 @@
 # Convenience targets for the RABIT reproduction.
 
-.PHONY: install test bench examples campaign latency check clean
+.PHONY: install lint test bench examples campaign latency metrics check clean
 
 install:
 	pip install -e .[dev]
+
+# Byte-compiles everything unconditionally; runs ruff when it is on PATH
+# (CI installs it — the runtime container deliberately has no extra deps).
+lint:
+	python -m compileall -q src tests benchmarks examples
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipped style checks (compileall ran)"; \
+	fi
 
 test:
 	pytest tests/
@@ -24,13 +34,16 @@ campaign:
 latency:
 	python -m repro latency
 
+metrics:
+	python -m repro metrics
+
 # The CI gate: full tier-1 suite, the scalar-vs-batch differential and
 # cache-parity harnesses explicitly, and a latency smoke run proving the
 # §II-C virtual-clock figures still reproduce.
 check:
 	PYTHONPATH=src python -m pytest -x -q tests/
-	PYTHONPATH=src python -m pytest -q tests/test_collision_differential.py tests/test_stateful_no_false_positives.py
-	PYTHONPATH=src python -m pytest -q benchmarks/test_collision_throughput.py benchmarks/test_latency_overhead.py
+	PYTHONPATH=src python -m pytest -q tests/test_collision_differential.py tests/test_stateful_no_false_positives.py tests/test_obs_differential.py
+	PYTHONPATH=src python -m pytest -q benchmarks/test_collision_throughput.py benchmarks/test_latency_overhead.py benchmarks/test_obs_overhead.py
 
 clean:
 	rm -rf .pytest_cache benchmarks/results __pycache__

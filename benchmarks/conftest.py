@@ -1,14 +1,23 @@
-"""Shared benchmark fixtures and table emission.
+"""Shared benchmark fixtures, table emission, and the perf trend log.
 
 Every benchmark regenerates one of the paper's tables or figures.  The
 rendered tables are printed (visible with ``pytest -s``) **and** written
 to ``benchmarks/results/<name>.txt`` so a run always leaves comparable
 artifacts behind, and key paper-vs-measured values are attached to the
 pytest-benchmark ``extra_info`` of the timed kernel.
+
+The ``trend`` fixture additionally appends one machine-readable JSON line
+per headline number to ``benchmarks/results/trend.jsonl``; CI uploads the
+directory as an artifact, so collision-throughput and latency figures are
+comparable across PRs without digging through logs.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
+import platform
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -16,6 +25,44 @@ import pytest
 from repro.faults.campaign import CampaignResult, run_campaign
 
 RESULTS_DIR = Path(__file__).parent / "results"
+TREND_PATH = RESULTS_DIR / "trend.jsonl"
+
+
+def _git_commit() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=Path(__file__).parent,
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+@pytest.fixture(scope="session")
+def trend():
+    """Append one timestamped JSON line per metric to trend.jsonl."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stamp = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+    }
+
+    def _append(metric: str, values: dict) -> None:
+        record = {"metric": metric, **stamp, **values}
+        with TREND_PATH.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    return _append
 
 
 @pytest.fixture(scope="session")

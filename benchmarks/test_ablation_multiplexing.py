@@ -9,7 +9,6 @@ trade-off.  Safety is identical (both policies stop Bug B; see
 ``test_multiplexing``); only throughput differs.
 """
 
-import pytest
 
 from repro.analysis.concurrency import compare_makespans
 from repro.analysis.report import format_table

@@ -9,7 +9,6 @@ which the ablation makes visible.
 
 import re
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.faults.campaign import CAMPAIGN_BUGS, run_bug

@@ -8,7 +8,6 @@ of the *actual* device body stays covered.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.report import format_table
 from repro.geometry.richshapes import CompositeShape, Hemisphere, VerticalCylinder

@@ -11,7 +11,6 @@ benchmark scene), and requires the batch path to be at least 5× faster.
 import time
 
 import numpy as np
-import pytest
 
 from repro.analysis.report import format_table
 from repro.geometry.batch import BatchCollisionEngine
@@ -55,7 +54,7 @@ def _best_of(k, fn):
     return best
 
 
-def test_collision_throughput(emit, benchmark):
+def test_collision_throughput(emit, trend, benchmark):
     cuboids, starts, ends = _scene()
     engine = BatchCollisionEngine(cuboids)
 
@@ -98,6 +97,16 @@ def test_collision_throughput(emit, benchmark):
         ),
     )
     emit("collision_throughput", rendered)
+    trend(
+        "collision_throughput",
+        {
+            "scalar_ms": round(t_scalar * 1e3, 4),
+            "batch_ms": round(t_batch * 1e3, 4),
+            "speedup": round(speedup, 2),
+            "segments_per_second_batch": round(N_SEGMENTS / t_batch),
+            "pair_checks_per_second_batch": round(pairs / t_batch),
+        },
+    )
 
     assert speedup >= MIN_SPEEDUP, (
         f"batch engine only {speedup:.1f}x faster than scalar "

@@ -8,7 +8,6 @@ improving RABIT's detection rate to 81%. ... throughout testing, RABIT
 never produced any false positives."
 """
 
-import pytest
 
 from repro.analysis.metrics import campaign_stats
 from repro.analysis.report import format_table

@@ -11,7 +11,6 @@ Per-bug reproduction of the paper's narrative:
   RABIT (vial crashes and breaks), detected after the held-object fix.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.faults.campaign import CAMPAIGN_BUGS, run_bug

@@ -10,7 +10,6 @@ pytest-benchmark kernel additionally measures the *real* CPU cost of one
 full Fig. 2 guard round-trip (validate + execute + fetch + compare).
 """
 
-import pytest
 
 from repro.analysis.latency import measure_workflow_latency
 from repro.analysis.report import format_table
@@ -22,7 +21,7 @@ PAPER = {
 }
 
 
-def test_latency_overhead(emit, benchmark):
+def test_latency_overhead(emit, trend, benchmark):
     reports = measure_workflow_latency()
 
     rows = []
@@ -45,6 +44,16 @@ def test_latency_overhead(emit, benchmark):
         title="§II-C latency overhead (virtual-clock accounting)",
     )
     emit("latency_overhead", rendered)
+    trend(
+        "latency_overhead",
+        {
+            name: {
+                "overhead_per_command_s": round(report.overhead_per_command, 6),
+                "overhead_percent": round(report.overhead_percent, 3),
+            }
+            for name, report in reports.items()
+        },
+    )
 
     # Shape assertions against the paper's numbers.
     assert 0.02 <= reports["rabit"].overhead_per_command <= 0.04

@@ -9,7 +9,6 @@ rate over a population instead of 16 hand-made bugs, plus the empirical
 false-alarm rate the paper's usability argument rests on.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.faults.montecarlo import run_monte_carlo

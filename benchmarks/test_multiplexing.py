@@ -8,7 +8,6 @@ Reproduces the two findings:
 2. both multiplexing policies *prevent* Bug B, which plain RABIT misses.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.faults.campaign import CAMPAIGN_BUGS, _prepare_deck

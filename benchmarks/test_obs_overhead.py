@@ -1,0 +1,131 @@
+"""Observability overhead gates.
+
+The tentpole contract: with observability **disabled** (the default), the
+instrumented collision-throughput kernel must run within 2 % of the seed
+kernel.  The instrumentation wraps
+:meth:`BatchCollisionEngine.segment_entry_times` around the untouched
+seed body (``_segment_entry_times_impl``), so the gate times both on the
+exact §PR-1 benchmark scene and compares.
+
+A second, looser check reports the *enabled* cost — informational (it is
+allowed to cost real time; that is the mode's purpose) but asserted to a
+generous bound so a pathological regression (e.g. accidentally exporting
+per-call) still fails CI.
+"""
+
+import time
+
+import numpy as np
+
+from repro.geometry.batch import BatchCollisionEngine
+from repro.geometry.shapes import Cuboid
+from repro.obs import OBS
+
+N_SEGMENTS = 200
+N_CUBOIDS = 20
+#: The ISSUE-2 acceptance gate: instrumented-off within 2 % of seed.
+MAX_DISABLED_OVERHEAD = 0.02
+#: Sanity ceiling for the enabled path on this heavy kernel.
+MAX_ENABLED_OVERHEAD = 0.25
+REPEATS = 30
+CALLS_PER_SAMPLE = 20
+
+
+def _scene(seed: int = 7):
+    rng = np.random.default_rng(seed)
+    cuboids = []
+    for i in range(N_CUBOIDS):
+        lo = rng.uniform(-1.0, 0.8, size=3)
+        hi = lo + rng.uniform(0.05, 0.5, size=3)
+        cuboids.append(Cuboid(tuple(lo), tuple(hi), name=f"box_{i}"))
+    starts = rng.uniform(-1.2, 1.2, size=(N_SEGMENTS, 3))
+    ends = rng.uniform(-1.2, 1.2, size=(N_SEGMENTS, 3))
+    return cuboids, starts, ends
+
+
+def _best_of(repeats, fn):
+    """Min-of-N timing of *fn* called CALLS_PER_SAMPLE times per sample.
+
+    The min over repeats is robust to scheduler noise; amortizing over
+    multiple calls per sample keeps timer resolution out of a 2 % gate.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(CALLS_PER_SAMPLE):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / CALLS_PER_SAMPLE)
+    return best
+
+
+def test_disabled_observability_overhead_gate(emit, trend, benchmark):
+    assert not OBS.enabled, "observability must be off by default"
+    cuboids, starts, ends = _scene()
+    engine = BatchCollisionEngine(cuboids)
+
+    # Warm both paths (allocator, caches) before timing.
+    engine._segment_entry_times_impl(starts, ends)
+    engine.segment_entry_times(starts, ends)
+
+    t_seed = _best_of(REPEATS, lambda: engine._segment_entry_times_impl(starts, ends))
+    t_off = _best_of(REPEATS, lambda: engine.segment_entry_times(starts, ends))
+    overhead_off = t_off / t_seed - 1.0
+
+    OBS.enable()
+    try:
+        t_on = _best_of(REPEATS, lambda: engine.segment_entry_times(starts, ends))
+    finally:
+        OBS.disable()
+        OBS.reset()
+    overhead_on = t_on / t_seed - 1.0
+
+    lines = [
+        "Observability overhead on the collision-throughput kernel",
+        f"  seed kernel (uninstrumented) {t_seed * 1e3:8.3f} ms/sweep",
+        f"  instrumented, obs OFF        {t_off * 1e3:8.3f} ms/sweep "
+        f"({100 * overhead_off:+.2f} %, gate {100 * MAX_DISABLED_OVERHEAD:.0f} %)",
+        f"  instrumented, obs ON         {t_on * 1e3:8.3f} ms/sweep "
+        f"({100 * overhead_on:+.2f} %)",
+    ]
+    emit("obs_overhead", "\n".join(lines))
+    trend(
+        "obs_overhead",
+        {
+            "seed_ms": round(t_seed * 1e3, 4),
+            "disabled_ms": round(t_off * 1e3, 4),
+            "enabled_ms": round(t_on * 1e3, 4),
+            "disabled_overhead_pct": round(100 * overhead_off, 3),
+            "enabled_overhead_pct": round(100 * overhead_on, 3),
+        },
+    )
+
+    assert overhead_off <= MAX_DISABLED_OVERHEAD, (
+        f"disabled observability costs {100 * overhead_off:.2f} % on the "
+        f"collision kernel (gate: {100 * MAX_DISABLED_OVERHEAD:.0f} %)"
+    )
+    assert overhead_on <= MAX_ENABLED_OVERHEAD, (
+        f"enabled observability costs {100 * overhead_on:.2f} % on the "
+        f"collision kernel (ceiling: {100 * MAX_ENABLED_OVERHEAD:.0f} %)"
+    )
+
+    benchmark(lambda: engine.segment_entry_times(starts, ends))
+    benchmark.extra_info["disabled_overhead_pct"] = round(100 * overhead_off, 3)
+    benchmark.extra_info["enabled_overhead_pct"] = round(100 * overhead_on, 3)
+
+
+def test_enabled_observability_is_accounted(emit):
+    """Enabled runs meter exactly the work done, then reset cleanly."""
+    cuboids, starts, ends = _scene()
+    engine = BatchCollisionEngine(cuboids)
+    OBS.enable()
+    try:
+        engine.segment_entry_times(starts, ends)
+        engine.segment_entry_times(starts, ends)
+    finally:
+        OBS.disable()
+    queries = OBS.registry.get("geometry_batch_queries_total")
+    pairs = OBS.registry.get("geometry_pair_checks_total")
+    assert queries.value(kind="segment_entry_times") == 2
+    assert pairs.total() == 2 * N_SEGMENTS * N_CUBOIDS
+    OBS.reset()
+    assert pairs.total() == 0

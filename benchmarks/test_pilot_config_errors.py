@@ -10,7 +10,6 @@ shipped validator now catches.
 
 import json
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.core.config import ConfigError, parse_config_text, validate_config

@@ -13,7 +13,7 @@ import pytest
 
 from repro.analysis.report import format_table
 from repro.rad.generator import generate_combined
-from repro.rad.mining import mine_and_classify, mine_door_rules, mine_precedence_rules
+from repro.rad.mining import mine_and_classify, mine_door_rules
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,6 @@ command on the production deck — the unit of "exploration" the speed axis
 counts.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.lab.hein import build_hein_deck, make_hein_rabit

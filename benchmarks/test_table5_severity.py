@@ -6,11 +6,9 @@ campaign and asserts every row.  The timed kernel is one representative
 bug run end to end (fresh deck, mutation, monitored execution).
 """
 
-import pytest
 
 from repro.analysis.metrics import severity_rows
 from repro.analysis.report import format_severity_table
-from repro.devices.world import DamageSeverity
 from repro.faults.campaign import CAMPAIGN_BUGS, run_bug
 
 PAPER_ROWS = {

@@ -7,11 +7,9 @@ monitor in fail-safe logging mode) accrues damage weighted by the
 production damage cost.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
-from repro.core.monitor import RabitOptions
-from repro.lab.hein import build_hein_deck, make_hein_rabit
+from repro.lab.hein import build_hein_deck
 from repro.lab.pipeline import ThreeStageValidator
 from repro.lab.stage import STAGE_PROFILES, Stage
 from repro.lab.workflows import build_solubility_workflow, run_workflow

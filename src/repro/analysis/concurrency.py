@@ -17,7 +17,7 @@ experiment uses, so the comparison is deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.core.actions import ActionLabel
 from repro.core.interceptor import BASELINE_DURATION, CommandRecord

@@ -16,7 +16,7 @@ reproduction is exact across machines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict
 
 from repro.core.clock import VirtualClock
 from repro.core.interceptor import instrument

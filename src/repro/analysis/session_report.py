@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.errors import Alert
 from repro.core.interceptor import CommandRecord
-from repro.devices.world import DamageEvent, LabWorld
+from repro.devices.world import LabWorld
+from repro.obs import OBS, Observability
 
 
 @dataclass(frozen=True)
@@ -57,11 +58,16 @@ def render_session_report(
     world: LabWorld,
     title: str = "RABIT session report",
     command_window: int = 12,
+    observability: Optional[Observability] = None,
 ) -> str:
     """Render the audit document.
 
     ``command_window`` bounds how many trailing commands are echoed in
-    full; the alert and damage sections are always complete.
+    full; the alert and damage sections are always complete.  When the
+    run was observed (``observability`` passed explicitly, or the global
+    :data:`~repro.obs.OBS` runtime recorded spans), an "Observability"
+    section summarizes interception counters, rule-cache efficiency, and
+    the hottest span names.
     """
     summary = summarize_session(trace, alerts, world)
     lines: List[str] = [title, "=" * len(title), ""]
@@ -106,4 +112,39 @@ def render_session_report(
         for device, count in sorted(per_device.items(), key=lambda kv: -kv[1]):
             lines.append(f"{device:20s} {count}")
 
+    obs = observability if observability is not None else OBS
+    if obs.collector.recorded:
+        lines += ["", *_observability_section(obs)]
+
     return "\n".join(lines)
+
+
+def _observability_section(obs: Observability) -> List[str]:
+    """The audit report's runtime-observability digest."""
+    summary = obs.summary()
+    lines = ["Observability", "-" * 13]
+    lines.append(f"commands intercepted:  {summary['commands_intercepted']:.0f}")
+    for outcome, count in sorted(summary["verdicts"].items()):
+        lines.append(f"  verdict {outcome:18s} {count:.0f}")
+    hits, misses = summary["rule_cache_hits"], summary["rule_cache_misses"]
+    if hits or misses:
+        lines.append(
+            f"rule cache:            {hits:.0f} hit / {misses:.0f} miss "
+            f"({100.0 * summary['rule_cache_hit_rate']:.1f} %)"
+        )
+    if summary["collision_segments_swept"]:
+        lines.append(
+            f"collision sweep:       {summary['collision_segments_swept']:.0f} "
+            f"segments over {summary['geometry_pair_checks']:.0f} pair checks"
+        )
+    lines.append(
+        f"spans recorded:        {summary['spans_recorded']} "
+        f"({summary['spans_dropped']} dropped)"
+    )
+    totals = obs.collector.totals_by_name()
+    hottest = sorted(totals.items(), key=lambda kv: -kv[1]["wall_seconds"])[:5]
+    for name, agg in hottest:
+        lines.append(
+            f"  {name:28s} x{agg['count']:<6.0f} {agg['wall_seconds'] * 1e3:8.2f} ms"
+        )
+    return lines

@@ -9,16 +9,18 @@ Operational entry points a lab would actually use:
   detection-rate progression;
 - ``latency`` — the §II-C overhead experiment;
 - ``calibration`` — the §IV frame-calibration experiment;
-- ``mine`` — generate a synthetic RAD corpus and mine candidate rules.
+- ``mine`` — generate a synthetic RAD corpus and mine candidate rules;
+- ``metrics`` — run a workload with the observability layer enabled and
+  export the span trace (JSONL) plus the metrics dump (Prometheus text,
+  optionally a JSON snapshot).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -147,6 +149,124 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_observed_solubility() -> int:
+    """The full solubility scenario under RABIT + headless ES; returns
+    the intercepted-command count."""
+    from repro.core.clock import VirtualClock
+    from repro.core.monitor import RabitOptions
+    from repro.lab.hein import build_hein_deck, make_hein_rabit
+    from repro.lab.workflows import build_solubility_workflow, run_workflow
+    from repro.obs import OBS
+
+    deck = build_hein_deck()
+    options = RabitOptions.modified(use_extended_simulator=True, bypass_gui=True)
+    rabit, proxies, trace = make_hein_rabit(
+        deck, options=options, use_extended_simulator=True, clock=VirtualClock()
+    )
+    OBS.bind_clock(rabit.clock)
+    result = run_workflow(build_solubility_workflow(proxies))
+    if not result.completed:  # pragma: no cover - safe workflow invariant
+        raise RuntimeError(f"observed workflow did not complete: {result.alert}")
+    return len(trace)
+
+
+def _run_observed_scenarios() -> int:
+    """Every Table III/IV controlled violation; returns the scenario count."""
+    from repro.core.monitor import RabitOptions
+    from repro.lab.scenarios import ALL_SCENARIOS, run_scenario
+
+    options = RabitOptions.modified(use_extended_simulator=True, bypass_gui=True)
+    for scenario in ALL_SCENARIOS:
+        run_scenario(scenario, options=options)
+    return len(ALL_SCENARIOS)
+
+
+def _run_observed_campaign() -> int:
+    """The §IV 16-bug campaign; returns the outcome count."""
+    from repro.faults.campaign import run_campaign
+
+    result = run_campaign()
+    return len(result.outcomes)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.obs import OBS
+    from repro.obs.export import (
+        export_metrics_json,
+        export_metrics_prometheus,
+        export_trace_jsonl,
+    )
+
+    workloads = {
+        "solubility": _run_observed_solubility,
+        "scenarios": _run_observed_scenarios,
+        "campaign": _run_observed_campaign,
+    }
+    OBS.reset()
+    OBS.enable()
+    try:
+        units = workloads[args.workload]()
+    finally:
+        OBS.disable()
+
+    summary = OBS.summary()
+    rows = [
+        ["workload", f"{args.workload} ({units} units)"],
+        ["commands intercepted", f"{summary['commands_intercepted']:.0f}"],
+    ]
+    for outcome, count in sorted(summary["verdicts"].items()):
+        rows.append([f"verdict: {outcome}", f"{count:.0f}"])
+    rows += [
+        [
+            "rule cache hit/miss",
+            f"{summary['rule_cache_hits']:.0f}/{summary['rule_cache_misses']:.0f} "
+            f"({100.0 * summary['rule_cache_hit_rate']:.1f} %)",
+        ],
+        [
+            "trajectory checks",
+            ", ".join(
+                f"{path}: {count:.0f}"
+                for path, count in sorted(summary["trajectory_checks"].items())
+            )
+            or "0",
+        ],
+        ["collision segments swept", f"{summary['collision_segments_swept']:.0f}"],
+        ["geometry pair checks", f"{summary['geometry_pair_checks']:.0f}"],
+        ["device commands executed", f"{summary['device_commands']:.0f}"],
+        [
+            "spans recorded",
+            f"{summary['spans_recorded']} ({summary['spans_dropped']} dropped)",
+        ],
+    ]
+    print(format_table(["metric", "value"], rows, title="Observability summary"))
+
+    totals = OBS.collector.totals_by_name()
+    span_rows = [
+        [name, f"{agg['count']:.0f}", f"{agg['wall_seconds'] * 1e3:.2f} ms",
+         f"{agg['max_wall_seconds'] * 1e3:.3f} ms"]
+        for name, agg in sorted(
+            totals.items(), key=lambda kv: -kv[1]["wall_seconds"]
+        )[: args.top]
+    ]
+    if span_rows:
+        print()
+        print(format_table(
+            ["span", "count", "total wall", "max wall"], span_rows,
+            title=f"Hottest spans (top {len(span_rows)})",
+        ))
+
+    spans = export_trace_jsonl(OBS, args.trace_out)
+    size = export_metrics_prometheus(OBS, args.prom_out)
+    print(f"\nwrote {spans} spans to {args.trace_out}")
+    print(f"wrote {size} bytes of Prometheus metrics to {args.prom_out}")
+    if args.json_out:
+        export_metrics_json(OBS, args.json_out)
+        print(f"wrote metrics JSON snapshot to {args.json_out}")
+    OBS.reset()
+    return 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     from repro.simulator.render import render_topdown
 
@@ -209,6 +329,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="which deck to render",
     )
     p.set_defaults(fn=_cmd_render)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run a workload with observability on; export span trace + metrics",
+    )
+    p.add_argument(
+        "--workload", default="solubility",
+        choices=["solubility", "scenarios", "campaign"],
+        help="what to run under the observability layer",
+    )
+    p.add_argument(
+        "--trace-out", default="obs-trace.jsonl", dest="trace_out",
+        help="JSONL span-trace output path",
+    )
+    p.add_argument(
+        "--prom-out", default="obs-metrics.prom", dest="prom_out",
+        help="Prometheus text-format metrics output path",
+    )
+    p.add_argument(
+        "--json-out", default="", dest="json_out",
+        help="optional JSON metrics-snapshot output path",
+    )
+    p.add_argument("--top", type=int, default=8, help="span rows to print")
+    p.set_defaults(fn=_cmd_metrics)
 
     p = sub.add_parser("mine", help="generate traces and mine candidate rules")
     p.add_argument("--hein", type=int, default=5, help="Hein sessions to replay")

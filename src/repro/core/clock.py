@@ -14,8 +14,7 @@ paper's *ratios* exactly and deterministically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict
 
 
 class VirtualClock:

@@ -14,7 +14,7 @@ The reconfigured tracer "raises a Python exception" when RABIT alerts
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Optional, Tuple
 

@@ -22,8 +22,8 @@ percentage overhead with and without the monitor in the loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,9 +35,21 @@ from repro.devices.base import Device
 from repro.devices.container import Vial
 from repro.devices.dosing import SolidDosingDevice, SyringePump
 from repro.devices.multi_door import MultiDoorDosingDevice
-from repro.devices.action_device import ActionDeviceBase, Centrifuge, Decapper
+from repro.devices.action_device import ActionDeviceBase, Decapper
 from repro.devices.locations import LocationKind
 from repro.devices.robot import RobotArmDevice
+from repro.obs import OBS
+
+_OBS_COMMANDS = OBS.registry.counter(
+    "rabit_commands_intercepted_total",
+    "Commands resolved and intercepted by the tracing proxy.",
+    labels=("device", "label"),
+)
+_OBS_VERDICTS = OBS.registry.counter(
+    "rabit_command_verdicts_total",
+    "Interception outcomes: allowed, or the alert kind that fired.",
+    labels=("outcome",),
+)
 
 #: Nominal execution time per action, in virtual seconds.  Robot moves
 #: dominate (a few seconds of arm motion); everything else is quicker.
@@ -124,35 +136,52 @@ class DeviceProxy:
 
         def traced(*args: Any, **kwargs: Any) -> Any:
             call = resolver(self._device, args, kwargs)
+            if OBS.enabled:
+                _OBS_COMMANDS.inc(
+                    1, device=self._device.name, label=call.label.value
+                )
             self._clock.advance(
                 self._device.connection.command_latency
                 + BASELINE_DURATION.get(call.label, 1.0),
                 "experiment",
             )
             alert: Optional[Alert] = None
-            try:
-                if self._rabit is None:
-                    return attr_callable(*args, **kwargs)
-                before = self._rabit.alert_count
-                result = self._rabit.guard(call, lambda: attr_callable(*args, **kwargs))
-                if self._rabit.alert_count > before:
-                    alert = self._rabit.last_alert()
-                return result
-            except SafetyViolation as violation:
-                alert = violation.alert
-                raise
-            finally:
-                self._trace.append(
-                    CommandRecord(
-                        time=self._clock.now,
-                        device=self._device.name,
-                        method=attr,
-                        args=args,
-                        label=call.label,
-                        alert=alert,
-                        location=call.location,
+            with OBS.span(
+                "intercept.command",
+                device=self._device.name,
+                method=attr,
+                label=call.label.value,
+            ):
+                try:
+                    if self._rabit is None:
+                        return attr_callable(*args, **kwargs)
+                    before = self._rabit.alert_count
+                    result = self._rabit.guard(
+                        call, lambda: attr_callable(*args, **kwargs)
                     )
-                )
+                    if self._rabit.alert_count > before:
+                        alert = self._rabit.last_alert()
+                    return result
+                except SafetyViolation as violation:
+                    alert = violation.alert
+                    raise
+                finally:
+                    if OBS.enabled:
+                        _OBS_VERDICTS.inc(
+                            1,
+                            outcome=alert.kind.value if alert else "allowed",
+                        )
+                    self._trace.append(
+                        CommandRecord(
+                            time=self._clock.now,
+                            device=self._device.name,
+                            method=attr,
+                            args=args,
+                            label=call.label,
+                            alert=alert,
+                            location=call.location,
+                        )
+                    )
 
         return traced
 

@@ -28,7 +28,8 @@ capacity enforcement, and workspace bounds (12/16); pairing either with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import time
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Protocol
 
 from repro.core.actions import ActionCall, ActionLabel, TransitionTable
@@ -39,6 +40,28 @@ from repro.core.rulebase import CheckContext, RuleBase, build_default_rulebase
 from repro.core.rulecache import MISS, RuleVerdictCache
 from repro.core.state import LabState
 from repro.devices.base import Device
+from repro.obs import OBS
+
+_OBS_ALERTS = OBS.registry.counter(
+    "rabit_alerts_total",
+    "Alerts raised, by alertAndStop site (Fig. 2).",
+    labels=("kind",),
+)
+_OBS_GUARD_SECONDS = OBS.registry.histogram(
+    "rabit_guard_wall_seconds",
+    "Real CPU seconds per guarded command (full Fig. 2 round-trip).",
+    buckets=(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0),
+)
+_OBS_STATUS_REQUESTS = OBS.registry.counter(
+    "device_status_requests_total",
+    "FetchState status round-trips, by device.",
+    labels=("device",),
+)
+_OBS_MALFUNCTION_CHECKS = OBS.registry.counter(
+    "rabit_state_comparisons_total",
+    "Expected-vs-actual state comparisons, by outcome.",
+    labels=("outcome",),
+)
 
 #: Action labels that move a robot arm (Fig. 2's ``isRobotCommand``).
 ROBOT_MOVE_LABELS = frozenset(
@@ -166,7 +189,30 @@ class Rabit:
         Raises :class:`SafetyViolation` on any alert when
         ``preemptive_stop`` is set; otherwise records the alert and, for
         precondition/trajectory alerts, still skips the unsafe command.
+
+        With observability enabled the round-trip is wrapped in a
+        ``rabit.guard`` span (validate / execute / fetch_state children)
+        and its real CPU cost lands in ``rabit_guard_wall_seconds``;
+        disabled, the guard runs the bare Fig. 2 algorithm.
         """
+        if not OBS.enabled:
+            return self._guard_impl(call, execute)
+        started = time.perf_counter()
+        with OBS.span(
+            "rabit.guard", label=call.label.value, device=call.device
+        ) as span:
+            try:
+                result = self._guard_impl(call, execute)
+            except SafetyViolation as violation:
+                span.set(outcome="stopped", alert=str(violation.alert))
+                raise
+            finally:
+                _OBS_GUARD_SECONDS.observe(time.perf_counter() - started)
+            span.set(outcome="completed")
+            return result
+
+    def _guard_impl(self, call: ActionCall, execute: Callable[[], Any]) -> Any:
+        """The Fig. 2 lines 4-16 algorithm (shared by both guard paths)."""
         if not self._initialized:
             self.initialize()
         self.clock.advance(self.options.bookkeeping_latency, "rabit_bookkeeping")
@@ -182,7 +228,8 @@ class Rabit:
             self.clock.advance(self.options.gui_latency, "rabit_simulator_gui")
 
         # Lines 6-7: precondition validation.
-        reason = self._validate(call)
+        with OBS.span("rabit.validate", label=call.label.value):
+            reason = self._validate(call)
         if reason is not None:
             rule_id, message = reason
             return self._alert(
@@ -221,11 +268,16 @@ class Rabit:
         )
 
         # Line 12: execute the (now believed-safe) command.
-        result = execute()
+        with OBS.span("rabit.execute", device=call.device):
+            result = execute()
 
         # Lines 13-15: fetch actual state, compare with expected.
         observed = self._fetch_state()
         mismatches = expected.diff_observable(observed)
+        if OBS.enabled:
+            _OBS_MALFUNCTION_CHECKS.inc(
+                1, outcome="mismatch" if mismatches else "match"
+            )
         # Line 16: adopt the actual state (observed over expected).
         self.state = expected.merge_observed(observed)
         for observer in self.observers:
@@ -301,16 +353,24 @@ class Rabit:
 
     def _alert(self, alert: Alert) -> None:
         self.alerts.append(alert)
+        if OBS.enabled:
+            _OBS_ALERTS.inc(1, kind=alert.kind.value)
         if self.options.preemptive_stop:
             raise SafetyViolation(alert)
         return None
 
     def _fetch_state(self) -> LabState:
         """Fig. 2's ``FetchState()``: one status round-trip per device."""
+        with OBS.span("rabit.fetch_state", devices=len(self.devices)):
+            return self._fetch_state_impl()
+
+    def _fetch_state_impl(self) -> LabState:
         observed = LabState()
         for name, device in self.devices.items():
             self.clock.advance(device.connection.status_latency, "rabit_fetch_state")
             report = device.status()
+            if OBS.enabled:
+                _OBS_STATUS_REQUESTS.inc(1, device=name)
             for status_key, value in report.items():
                 if status_key.startswith("door:"):
                     # Multi-door devices report one state per named door

@@ -24,11 +24,10 @@ Both policies plug into RABIT exactly the way the paper describes —
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.core.actions import ActionCall, ActionLabel
-from repro.core.model import ObstacleModel, RabitLabModel
+from repro.core.model import ObstacleModel
 from repro.core.monitor import ROBOT_MOVE_LABELS, Rabit
 from repro.core.state import LabState
 from repro.geometry.shapes import Cuboid

@@ -34,17 +34,15 @@ Geometric checks (rule G3) honour two revision flags from
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.actions import ActionCall, ActionLabel
-from repro.core.model import DeviceModel, RabitLabModel
+from repro.core.model import RabitLabModel
 from repro.core.state import LabState
-from repro.devices.base import DeviceKind
-from repro.geometry.shapes import Cuboid
 
 
 class RuleScope(Enum):

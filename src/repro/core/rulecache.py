@@ -29,7 +29,21 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Hashable, Optional, Tuple
 
+from repro.obs import OBS
+
 __all__ = ["RuleVerdictCache", "MISS"]
+
+_OBS_LOOKUPS = OBS.registry.counter(
+    "rabit_rule_cache_lookups_total",
+    "Rule-verdict cache lookups by result.",
+    labels=("result",),
+)
+_OBS_ENTRIES = OBS.registry.gauge(
+    "rabit_rule_cache_entries", "Rule-verdict cache occupancy."
+)
+_OBS_EVICTIONS = OBS.registry.counter(
+    "rabit_rule_cache_evictions_total", "LRU evictions from the rule-verdict cache."
+)
 
 #: Sentinel distinguishing "no cached entry" from a cached ``None`` verdict
 #: (a passing command's verdict *is* ``None``, and is the common case).
@@ -65,9 +79,13 @@ class RuleVerdictCache:
             value = self._entries[key]
         except KeyError:
             self.misses += 1
+            if OBS.enabled:
+                _OBS_LOOKUPS.inc(1, result="miss")
             return MISS
         self._entries.move_to_end(key)
         self.hits += 1
+        if OBS.enabled:
+            _OBS_LOOKUPS.inc(1, result="hit")
         return value
 
     def store(self, key: Hashable, verdict: Optional[Tuple[Any, str]]) -> None:
@@ -76,6 +94,10 @@ class RuleVerdictCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            if OBS.enabled:
+                _OBS_EVICTIONS.inc(1)
+        if OBS.enabled:
+            _OBS_ENTRIES.set(len(self._entries))
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""

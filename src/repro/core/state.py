@@ -23,7 +23,7 @@ State variables fall into two classes:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Variables a status command can refresh.
 OBSERVABLE_VARS = frozenset(

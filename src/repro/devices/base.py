@@ -17,9 +17,17 @@ status no longer matches the expected state.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Dict, List, Optional
+
+from repro.obs import OBS
+
+_OBS_DEVICE_COMMANDS = OBS.registry.counter(
+    "device_commands_total",
+    "Commands physically executed, by device (post-veto, ground truth).",
+    labels=("device",),
+)
 
 
 class DeviceKind(Enum):
@@ -143,6 +151,8 @@ class Device:
 
     def _record(self, command: str) -> None:
         self._command_log.append(command)
+        if OBS.enabled:
+            _OBS_DEVICE_COMMANDS.inc(1, device=self.name)
 
     @property
     def command_log(self) -> List[str]:

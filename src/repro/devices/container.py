@@ -9,7 +9,7 @@ present before centrifuging, stoppers on before spinning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Dict, Optional
 

@@ -21,7 +21,7 @@ Physical semantics recorded as ground truth:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.devices.base import Device, DeviceKind, Door, DoorState
 from repro.devices.world import DamageEvent, DamageSeverity, LabWorld

@@ -18,7 +18,7 @@ stack handles it through a compound-key convention:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence
 
 from repro.devices.base import Device, DeviceKind, Door, DoorState
 from repro.devices.world import DamageEvent, DamageSeverity, LabWorld

@@ -13,7 +13,7 @@ the unsafe outcome, and did RABIT stop it first?".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 

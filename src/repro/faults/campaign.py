@@ -24,7 +24,7 @@ capacity enforcement, workspace bounds) — see DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.interceptor import DeviceProxy

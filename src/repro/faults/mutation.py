@@ -11,8 +11,8 @@ to the deck's location table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.devices.world import LabWorld
 from repro.lab.workflows import ScriptLine

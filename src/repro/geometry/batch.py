@@ -32,8 +32,19 @@ import numpy as np
 
 from repro.geometry.collision import CollisionHit
 from repro.geometry.shapes import Cuboid
+from repro.obs import OBS
 
 __all__ = ["BatchCollisionEngine"]
+
+_OBS_QUERIES = OBS.registry.counter(
+    "geometry_batch_queries_total",
+    "Batch-engine queries, by query kind.",
+    labels=("kind",),
+)
+_OBS_PAIR_CHECKS = OBS.registry.counter(
+    "geometry_pair_checks_total",
+    "Segment/point x cuboid pairs evaluated by the batch engine.",
+)
 
 
 def _as_points(points: Sequence[Sequence[float]]) -> np.ndarray:
@@ -152,7 +163,24 @@ class BatchCollisionEngine:
         evaluated on every pair, including its closed-boundary convention
         (grazes count; a zero displacement component falls back to a
         point-in-slab test on the start coordinate).
+
+        When observability is enabled the query and its S x N pair count
+        are metered; disabled, the only cost over the raw kernel
+        (:meth:`_segment_entry_times_impl`, which the overhead benchmark
+        gates against) is one attribute check.
         """
+        result = self._segment_entry_times_impl(starts, ends)
+        if OBS.enabled:
+            _OBS_QUERIES.inc(1, kind="segment_entry_times")
+            _OBS_PAIR_CHECKS.inc(float(result.size))
+        return result
+
+    def _segment_entry_times_impl(
+        self,
+        starts: Sequence[Sequence[float]],
+        ends: Sequence[Sequence[float]],
+    ) -> np.ndarray:
+        """The uninstrumented sweep kernel (seed behaviour, verbatim)."""
         p0 = _as_points(starts)[:, None, :]  # (S, 1, 3)
         p1 = _as_points(ends)[:, None, :]
         d = p1 - p0
@@ -186,9 +214,13 @@ class BatchCollisionEngine:
         cuboid *n*, boundaries included — :meth:`Cuboid.contains` for every
         pair."""
         p = _as_points(points)[:, None, :]  # (P, 1, 3)
-        return np.all(
+        result = np.all(
             (p >= self._lo[None, :, :]) & (p <= self._hi[None, :, :]), axis=2
         )
+        if OBS.enabled:
+            _OBS_QUERIES.inc(1, kind="contains_points")
+            _OBS_PAIR_CHECKS.inc(float(result.size))
+        return result
 
     def first_containing(self, points: Sequence[Sequence[float]]) -> np.ndarray:
         """Per point, the lowest index of a cuboid containing it (-1: none).

@@ -10,7 +10,7 @@ and, like the paper suggests, allow inflating cuboids to be conservative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence, Tuple
 
 import numpy as np

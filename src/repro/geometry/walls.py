@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.geometry.shapes import Cuboid
-from repro.geometry.vec import Vec3, as_vec3
+from repro.geometry.vec import as_vec3
 
 
 @dataclass(frozen=True)

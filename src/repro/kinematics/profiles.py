@@ -19,9 +19,9 @@ ground collisions, and grid geometry behave like the paper's testbed.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
 from repro.kinematics.dh import DHChain, DHLink
 

@@ -38,7 +38,7 @@ from repro.devices.action_device import (
     UltrasonicNozzle,
     XRFStation,
 )
-from repro.devices.base import Device, DeviceKind, DoorState
+from repro.devices.base import Device, DoorState
 from repro.devices.container import Vial
 from repro.devices.dosing import SolidDosingDevice, SyringePump
 from repro.devices.locations import LocationKind

@@ -16,7 +16,7 @@ Extended Simulator, and tracing proxies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.clock import VirtualClock

@@ -20,8 +20,8 @@ Two API styles are reproduced deliberately:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.errors import Alert, SafetyViolation
 from repro.core.interceptor import DeviceProxy

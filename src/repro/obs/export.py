@@ -1,0 +1,39 @@
+"""File exporters: JSONL trace, Prometheus text, JSON metrics snapshot.
+
+Thin wrappers so callers (the CLI, tests, notebook users) write artifacts
+without knowing the internals.  Paths are created with UTF-8 encoding and
+a trailing newline, matching what Prometheus scrapers and ``jq`` expect.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.obs.runtime import Observability
+
+__all__ = ["export_trace_jsonl", "export_metrics_prometheus", "export_metrics_json"]
+
+PathLike = Union[str, Path]
+
+
+def export_trace_jsonl(obs: Observability, path: PathLike) -> int:
+    """Write the retained spans as JSONL; returns the span count."""
+    return obs.collector.write_jsonl(path)
+
+
+def export_metrics_prometheus(obs: Observability, path: PathLike) -> int:
+    """Write the registry in Prometheus text format; returns bytes written."""
+    text = obs.registry.to_prometheus()
+    Path(path).write_text(text, encoding="utf-8")
+    return len(text.encode("utf-8"))
+
+
+def export_metrics_json(obs: Observability, path: PathLike) -> Dict:
+    """Write the JSON metrics snapshot; returns the snapshot dict."""
+    snapshot = obs.registry.snapshot()
+    Path(path).write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return snapshot

@@ -1,0 +1,387 @@
+"""Counters, gauges, fixed-bucket histograms, and their exporters.
+
+A deliberately small subset of the Prometheus client data model, enough
+to answer the perf questions the ROADMAP keeps asking: how many commands
+were intercepted and with what verdicts, how often the rule-verdict cache
+hits, how many collision segments each sweep touched, which sweep path
+(batch or scalar) ran.
+
+Metrics are registered get-or-create by name so instrumented modules can
+hold module-level handles; :meth:`MetricsRegistry.reset` zeroes values
+*in place* without invalidating those handles.  Export formats:
+
+- :meth:`MetricsRegistry.to_prometheus` — the Prometheus text exposition
+  format (``# HELP`` / ``# TYPE`` headers, escaped label values,
+  cumulative ``_bucket{le=...}`` series for histograms);
+- :meth:`MetricsRegistry.snapshot` — a JSON-safe nested dict for
+  programmatic consumers (the CLI summary, the session report).
+
+No locks: the simulation is single-threaded, like the rest of the
+reproduction; the registry documents rather than hides that assumption.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds-flavoured, like the Prometheus client).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line per the text exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    """Render a bucket upper bound for the ``le`` label."""
+    if bound == float("inf"):
+        return "+Inf"
+    if float(bound).is_integer():
+        return f"{bound:.1f}"
+    return repr(float(bound))
+
+
+class _Metric:
+    """Shared name/help/label plumbing for the three metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name: {label!r}")
+        self.name = name
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(labels)
+
+    def _key(self, labels: Dict[str, Any]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, got "
+                f"{tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def _series(self, key: Tuple[str, ...]) -> str:
+        if not key:
+            return self.name
+        pairs = ",".join(
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in zip(self.label_names, key)
+        )
+        return f"{self.name}{{{pairs}}}"
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum, keyed by label values."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add *amount* (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value of the labelled series (0.0 if never touched)."""
+        return self._values.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every labelled series."""
+        return sum(self._values.values())
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def expose(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} counter",
+        ]
+        for key in sorted(self._values):
+            lines.append(f"{self._series(key)} {_format_value(self._values[key])}")
+        if not self._values and not self.label_names:
+            lines.append(f"{self.name} 0")
+        return lines
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "help": self.help,
+            "values": [
+                {"labels": dict(zip(self.label_names, key)), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (cache occupancy, queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set the labelled series to *value*."""
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add *amount* (may be negative) to the labelled series."""
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value of the labelled series (0.0 if never set)."""
+        return self._values.get(self._key(labels), 0.0)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def expose(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} gauge",
+        ]
+        for key in sorted(self._values):
+            lines.append(f"{self._series(key)} {_format_value(self._values[key])}")
+        if not self._values and not self.label_names:
+            lines.append(f"{self.name} 0")
+        return lines
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "help": self.help,
+            "values": [
+                {"labels": dict(zip(self.label_names, key)), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+
+class Histogram(_Metric):
+    """Fixed upper-bound buckets with the Prometheus ``le`` convention.
+
+    An observation lands in every bucket whose upper bound is ``>=`` the
+    value (cumulative exposition); a terminal ``+Inf`` bucket is always
+    present, so ``_bucket{le="+Inf"}`` equals ``_count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("duplicate bucket bounds")
+        if bounds and bounds[-1] == float("inf"):
+            bounds = bounds[:-1]
+        #: Finite upper bounds; +Inf is implicit as the final bucket.
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        # Per labelled series: [per-finite-bucket counts..., inf count, sum, count]
+        self._series_data: Dict[Tuple[str, ...], List[float]] = {}
+
+    def _slot(self, key: Tuple[str, ...]) -> List[float]:
+        data = self._series_data.get(key)
+        if data is None:
+            data = [0.0] * (len(self.buckets) + 3)
+            self._series_data[key] = data
+        return data
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation into the labelled series."""
+        value = float(value)
+        data = self._slot(self._key(labels))
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                data[i] += 1.0
+                break
+        else:
+            data[len(self.buckets)] += 1.0  # +Inf bucket only
+        data[-2] += value  # sum
+        data[-1] += 1.0  # count
+
+    def counts(self, **labels: Any) -> Dict[str, float]:
+        """Non-cumulative per-bucket counts plus sum/count for tests."""
+        data = self._slot(self._key(labels))
+        out = {_format_le(b): data[i] for i, b in enumerate(self.buckets)}
+        out["+Inf"] = data[len(self.buckets)]
+        out["sum"] = data[-2]
+        out["count"] = data[-1]
+        return out
+
+    def reset(self) -> None:
+        self._series_data.clear()
+
+    def expose(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} histogram",
+        ]
+        for key in sorted(self._series_data):
+            data = self._series_data[key]
+            cumulative = 0.0
+            for i, bound in enumerate(self.buckets):
+                cumulative += data[i]
+                lines.append(
+                    f"{self._bucket_series(key, _format_le(bound))} "
+                    f"{_format_value(cumulative)}"
+                )
+            cumulative += data[len(self.buckets)]
+            lines.append(
+                f"{self._bucket_series(key, '+Inf')} {_format_value(cumulative)}"
+            )
+            suffix_key = self._series(key)
+            base, _, labelpart = suffix_key.partition("{")
+            labelpart = "{" + labelpart if labelpart else ""
+            lines.append(f"{base}_sum{labelpart} {_format_value(data[-2])}")
+            lines.append(f"{base}_count{labelpart} {_format_value(data[-1])}")
+        return lines
+
+    def _bucket_series(self, key: Tuple[str, ...], le: str) -> str:
+        pairs = [
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in zip(self.label_names, key)
+        ]
+        pairs.append(f'le="{le}"')
+        return f"{self.name}_bucket{{{','.join(pairs)}}}"
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "values": [
+                {
+                    "labels": dict(zip(self.label_names, key)),
+                    "counts": data[: len(self.buckets) + 1],
+                    "sum": data[-2],
+                    "count": data[-1],
+                }
+                for key, data in sorted(self._series_data.items())
+            ],
+        }
+
+
+MetricType = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create home of every metric, with the two exporters."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, MetricType] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get_or_create(
+        self, cls: type, name: str, help: str, labels: Sequence[str], **kwargs: Any
+    ) -> MetricType:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            if tuple(labels) != existing.label_names:
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.label_names}"
+                )
+            return existing
+        metric = cls(name, help, labels, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Counter:
+        """The counter named *name*, created on first use."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        """The gauge named *name*, created on first use."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """The histogram named *name*, created on first use."""
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def get(self, name: str) -> Optional[MetricType]:
+        """The metric named *name*, or ``None``."""
+        return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Zero every metric's values in place (handles stay valid)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    # -- exporters ---------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].expose())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-safe nested dict of every metric, grouped by kind."""
+        out: Dict[str, Dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        group = {"counter": "counters", "gauge": "gauges", "histogram": "histograms"}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            out[group[metric.kind]][name] = metric.snapshot()
+        return out

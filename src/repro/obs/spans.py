@@ -1,0 +1,152 @@
+"""Spans and the ring-buffered in-process collector.
+
+A :class:`Span` is one timed region of the interception pipeline — a
+guarded command, a rulebase check, a collision sweep.  Spans nest: each
+records the id of the span that was open when it started, so an exported
+trace reconstructs the call tree of every intercepted command.
+
+Two clocks are recorded per span.  The *wall* clock
+(:func:`time.perf_counter`) measures real CPU cost — what a perf PR wants
+to shrink.  The *virtual* clock (when one is bound to the runtime) is the
+deterministic lab clock the §II-C latency experiment charges; recording
+both lets a trace correlate "where the virtual seconds were charged" with
+"where the real microseconds went".
+
+The collector is a bounded ring: under heavy traffic old spans fall off
+the back rather than growing memory without bound, and the drop count is
+reported so a truncated trace is never mistaken for a complete one.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "SpanCollector"]
+
+
+@dataclass
+class Span:
+    """One timed region; finished spans are immutable by convention."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start_wall: float
+    start_virtual: Optional[float] = None
+    end_wall: Optional[float] = None
+    end_virtual: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_wall(self) -> Optional[float]:
+        """Wall-clock seconds spent in the span (``None`` while open)."""
+        if self.end_wall is None:
+            return None
+        return self.end_wall - self.start_wall
+
+    @property
+    def duration_virtual(self) -> Optional[float]:
+        """Virtual seconds charged while the span was open."""
+        if self.end_virtual is None or self.start_virtual is None:
+            return None
+        return self.end_virtual - self.start_virtual
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes; returns the span for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (the JSONL export line)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_wall": self.start_wall,
+            "end_wall": self.end_wall,
+            "duration_wall": self.duration_wall,
+            "start_virtual": self.start_virtual,
+            "end_virtual": self.end_virtual,
+            "duration_virtual": self.duration_virtual,
+            "attributes": {k: _jsonable(v) for k, v in self.attributes.items()},
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce attribute values JSON can't represent to strings."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+class SpanCollector:
+    """A bounded ring buffer of finished spans.
+
+    ``capacity`` bounds retained spans; once full, recording a new span
+    silently evicts the oldest and bumps :attr:`dropped`.  Spans are kept
+    in completion order; :meth:`spans` re-sorts by start order (span ids
+    are monotonic), which is the order a trace viewer wants.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ring: Deque[Span] = deque(maxlen=capacity)
+        #: Spans recorded over the collector's lifetime (incl. dropped).
+        self.recorded = 0
+        #: Spans evicted from the ring to make room.
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def record(self, span: Span) -> None:
+        """Add a finished span, evicting the oldest when full."""
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(span)
+        self.recorded += 1
+
+    def spans(self) -> List[Span]:
+        """Retained spans in start order."""
+        return sorted(self._ring, key=lambda s: s.span_id)
+
+    def clear(self) -> None:
+        """Drop every retained span and zero the counters."""
+        self._ring.clear()
+        self.recorded = 0
+        self.dropped = 0
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl_lines(self) -> Iterator[str]:
+        """One compact JSON document per retained span, start order."""
+        for span in self.spans():
+            yield json.dumps(span.to_dict(), sort_keys=True)
+
+    def write_jsonl(self, path: Any) -> int:
+        """Write the JSONL trace to *path*; returns the span count."""
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in self.to_jsonl_lines():
+                fh.write(line + "\n")
+        return len(spans)
+
+    # -- aggregation -------------------------------------------------------
+
+    def totals_by_name(self) -> Dict[str, Dict[str, float]]:
+        """Per span name: count and cumulative/max wall seconds."""
+        out: Dict[str, Dict[str, float]] = {}
+        for span in self._ring:
+            bucket = out.setdefault(
+                span.name, {"count": 0, "wall_seconds": 0.0, "max_wall_seconds": 0.0}
+            )
+            bucket["count"] += 1
+            duration = span.duration_wall or 0.0
+            bucket["wall_seconds"] += duration
+            bucket["max_wall_seconds"] = max(bucket["max_wall_seconds"], duration)
+        return out

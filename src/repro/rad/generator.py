@@ -14,11 +14,9 @@ experiments.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 import numpy as np
 
-from repro.core.interceptor import instrument
 from repro.lab.berlinguette import (
     build_berlinguette_deck,
     build_spray_coating_workflow,

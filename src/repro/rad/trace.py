@@ -13,9 +13,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Tuple
 
-from repro.core.actions import ActionLabel
 from repro.core.interceptor import CommandRecord
-from repro.devices.base import Device, DeviceKind
+from repro.devices.base import Device
 
 
 @dataclass(frozen=True)

@@ -47,6 +47,32 @@ from repro.devices.robot import RobotArmDevice
 from repro.geometry.batch import BatchCollisionEngine
 from repro.geometry.shapes import Cuboid
 from repro.kinematics.arm import TrajectoryPlan, UnreachableTargetError
+from repro.obs import OBS
+
+_OBS_CHECKS = OBS.registry.counter(
+    "es_trajectory_checks_total",
+    "Extended Simulator trajectory validations, by sweep path.",
+    labels=("path",),
+)
+_OBS_VERDICTS = OBS.registry.counter(
+    "es_trajectory_verdicts_total",
+    "Extended Simulator sweep verdicts.",
+    labels=("verdict",),
+)
+_OBS_SEGMENTS = OBS.registry.counter(
+    "es_segments_swept_total",
+    "Trajectory samples swept against the deck geometry.",
+)
+_OBS_SWEEP_SAMPLES = OBS.registry.histogram(
+    "es_sweep_samples",
+    "Samples per trajectory sweep.",
+    buckets=(8, 16, 31, 64, 128, 256),
+)
+_OBS_ENGINE_CACHE = OBS.registry.counter(
+    "es_engine_cache_total",
+    "Per-(frame, exclusions) packed-engine cache outcomes.",
+    labels=("result",),
+)
 
 
 class ExtendedSimulator:
@@ -129,7 +155,22 @@ class ExtendedSimulator:
         samples = ee_start[None, :] + (ee_end - ee_start)[None, :] * steps[:, None]
 
         sweep = self._sweep_batch if self.use_batch else self._sweep_scalar
-        return sweep(call, model, frame, exclude, robot_model, held, samples)
+        if not OBS.enabled:
+            return sweep(call, model, frame, exclude, robot_model, held, samples)
+
+        path = "batch" if self.use_batch else "scalar"
+        _OBS_CHECKS.inc(1, path=path)
+        _OBS_SEGMENTS.inc(float(len(samples)))
+        _OBS_SWEEP_SAMPLES.observe(float(len(samples)))
+        with OBS.span(
+            "es.validate_trajectory", robot=call.robot, label=call.label.value,
+            path=path, samples=len(samples),
+        ) as span:
+            problem = sweep(call, model, frame, exclude, robot_model, held, samples)
+            _OBS_VERDICTS.inc(1, verdict="collision" if problem else "clear")
+            if span is not None:
+                span.set(verdict=problem or "clear")
+        return problem
 
     # ------------------------------------------------------------------
     # Batched sweep (the fast path)
@@ -220,7 +261,11 @@ class ExtendedSimulator:
         key = (frame, tuple(sorted(exclude)))
         cached = self._engine_cache.get(key)
         if cached is not None:
+            if OBS.enabled:
+                _OBS_ENGINE_CACHE.inc(1, result="hit")
             return cached[0], cached[1]
+        if OBS.enabled:
+            _OBS_ENGINE_CACHE.inc(1, result="miss")
         obstacles = model.obstacles_for_frame(frame, exclude=exclude)
         surfaces = model.surfaces_for_frame(frame, exclude=exclude)
         obst_engine = BatchCollisionEngine(obstacles)

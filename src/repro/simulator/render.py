@@ -11,9 +11,8 @@ surfaces dotted, named locations as ``*``, the arm's reported position as
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.core.model import RabitLabModel
 from repro.devices.robot import RobotArmDevice

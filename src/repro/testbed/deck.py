@@ -38,7 +38,7 @@ from repro.devices.locations import LocationKind
 from repro.devices.robot import RobotArmDevice
 from repro.devices.world import LabWorld
 from repro.geometry.shapes import Cuboid, bounding_cuboid
-from repro.geometry.transforms import Transform, identity, rotation_z, translation
+from repro.geometry.transforms import identity, rotation_z, translation
 from repro.geometry.walls import SoftwareWall, Workspace
 from repro.kinematics.profiles import NED2, VIPERX_300
 from repro.simulator.extended import ExtendedSimulator

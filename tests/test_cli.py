@@ -82,6 +82,71 @@ class TestCampaign:
         assert "match the paper" in out
 
 
+class TestMetrics:
+    def test_solubility_workload_exports_trace_and_prometheus(self, tmp_path, capsys):
+        from repro.obs import OBS
+
+        trace_out = tmp_path / "trace.jsonl"
+        prom_out = tmp_path / "metrics.prom"
+        json_out = tmp_path / "metrics.json"
+        code = main(
+            [
+                "metrics",
+                "--workload", "solubility",
+                "--trace-out", str(trace_out),
+                "--prom-out", str(prom_out),
+                "--json-out", str(json_out),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Observability summary" in out
+        assert "commands intercepted" in out
+        assert "Hottest spans" in out
+
+        # The JSONL trace parses and contains nested guard spans.
+        docs = [json.loads(line) for line in trace_out.read_text().splitlines()]
+        assert docs, "empty span trace"
+        names = {d["name"] for d in docs}
+        assert {"intercept.command", "rabit.guard", "es.validate_trajectory"} <= names
+        assert all("start_wall" in d and "attributes" in d for d in docs)
+        # Virtual-clock stamps arrive once the workload binds its clock.
+        assert any(d["start_virtual"] is not None for d in docs)
+
+        # The Prometheus dump covers interceptor, rule cache, and sweeps.
+        prom = prom_out.read_text()
+        for needle in (
+            "# TYPE rabit_commands_intercepted_total counter",
+            "rabit_rule_cache_lookups_total{",
+            'es_trajectory_checks_total{path="batch"}',
+            "geometry_pair_checks_total",
+            "rabit_guard_wall_seconds_bucket",
+        ):
+            assert needle in prom, needle
+
+        snapshot = json.loads(json_out.read_text())
+        assert "rabit_commands_intercepted_total" in snapshot["counters"]
+
+        # The CLI leaves the global runtime off and empty.
+        assert not OBS.enabled
+        assert OBS.collector.recorded == 0
+
+    def test_scenarios_workload(self, tmp_path, capsys):
+        code = main(
+            [
+                "metrics",
+                "--workload", "scenarios",
+                "--trace-out", str(tmp_path / "t.jsonl"),
+                "--prom-out", str(tmp_path / "m.prom"),
+            ]
+        )
+        assert code == 0
+        prom = (tmp_path / "m.prom").read_text()
+        assert "rabit_alerts_total{" in prom  # violations fired alerts
+        out = capsys.readouterr().out
+        assert "scenarios (15 units)" in out
+
+
 class TestRender:
     def test_renders_each_lab(self, capsys):
         for lab in ("hein", "testbed", "berlinguette"):

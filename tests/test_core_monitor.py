@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core.actions import ActionCall, ActionLabel
+from repro.core.actions import ActionLabel
 from repro.core.errors import AlertKind, SafetyViolation
-from repro.core.monitor import Rabit, RabitOptions
+from repro.core.monitor import RabitOptions
 from repro.lab.hein import build_hein_deck, make_hein_rabit
 
 

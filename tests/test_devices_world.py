@@ -4,7 +4,7 @@ import pytest
 
 from repro.devices.base import Device
 from repro.devices.container import Vial
-from repro.devices.locations import Location, LocationKind, LocationTable
+from repro.devices.locations import LocationKind, LocationTable
 from repro.devices.world import DamageEvent, DamageSeverity, LabWorld
 from repro.geometry.shapes import Cuboid
 from repro.geometry.transforms import identity, translation

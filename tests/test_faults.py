@@ -13,7 +13,7 @@ The headline assertions reproduce the paper exactly:
 import pytest
 
 from repro.devices.world import DamageSeverity
-from repro.faults.campaign import CAMPAIGN_BUGS, RABIT_CONFIGS, run_bug
+from repro.faults.campaign import CAMPAIGN_BUGS, run_bug
 from repro.faults.mutation import (
     DeleteLine,
     InsertAfter,

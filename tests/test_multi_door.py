@@ -12,7 +12,7 @@ import math
 import pytest
 
 from repro.core.config import build_model
-from repro.core.errors import AlertKind, SafetyViolation
+from repro.core.errors import SafetyViolation
 from repro.core.interceptor import instrument
 from repro.core.monitor import Rabit, RabitOptions
 from repro.devices.base import DoorState

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lab.pipeline import PipelineResult, ThreeStageValidator
+from repro.lab.pipeline import ThreeStageValidator
 from repro.lab.stage import Stage
 from repro.lab.workflows import build_solubility_workflow
 

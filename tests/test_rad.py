@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.rad.mining import (
-    MinedRule,
-    classify_rules,
-    mine_and_classify,
-    mine_door_rules,
-    mine_precedence_rules,
-)
+from repro.rad.mining import mine_and_classify, mine_door_rules, mine_precedence_rules
 from repro.rad.trace import Trace, TraceDataset, TraceEvent
 
 

@@ -39,7 +39,6 @@ def test_detection_is_preemptive(scenario):
     """RABIT stops the experiment before the unsafe command executes —
     the deck's ground truth records no damage."""
     from repro.lab.hein import build_hein_deck
-    from repro.lab.scenarios import run_scenario as run
 
     # run_scenario builds its own deck; re-run and inspect indirectly by
     # checking the alert's command never reached a device: a detected

@@ -14,7 +14,6 @@ Any false positive (or physics/belief divergence) surfaces as a minimal
 failing command sequence, courtesy of hypothesis shrinking.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
 

@@ -6,7 +6,6 @@ from repro.core.errors import Alert, AlertKind, SafetyViolation
 from repro.kinematics.arm import UnreachableTargetError
 from repro.lab.workflows import (
     ScriptLine,
-    WorkflowResult,
     build_centrifuge_workflow,
     build_solubility_workflow,
     build_testbed_workflow,
