@@ -1,6 +1,6 @@
 # Convenience targets for the RABIT reproduction.
 
-.PHONY: install lint test bench examples campaign latency metrics check clean
+.PHONY: install lint test bench examples campaign latency metrics montecarlo check clean
 
 install:
 	pip install -e .[dev]
@@ -37,13 +37,17 @@ latency:
 metrics:
 	python -m repro metrics
 
-# The CI gate: full tier-1 suite, the scalar-vs-batch differential and
-# cache-parity harnesses explicitly, and a latency smoke run proving the
-# §II-C virtual-clock figures still reproduce.
+montecarlo:
+	python -m repro montecarlo --samples 40 --workers 0
+
+# The CI gate: full tier-1 suite, the scalar-vs-batch / parallel-vs-
+# sequential differential and cache-parity harnesses explicitly, and a
+# latency smoke run proving the §II-C virtual-clock figures still
+# reproduce.
 check:
 	PYTHONPATH=src python -m pytest -x -q tests/
-	PYTHONPATH=src python -m pytest -q tests/test_collision_differential.py tests/test_stateful_no_false_positives.py tests/test_obs_differential.py
-	PYTHONPATH=src python -m pytest -q benchmarks/test_collision_throughput.py benchmarks/test_latency_overhead.py benchmarks/test_obs_overhead.py
+	PYTHONPATH=src python -m pytest -q tests/test_collision_differential.py tests/test_stateful_no_false_positives.py tests/test_obs_differential.py tests/test_parallel_differential.py
+	PYTHONPATH=src python -m pytest -q benchmarks/test_collision_throughput.py benchmarks/test_latency_overhead.py benchmarks/test_obs_overhead.py benchmarks/test_montecarlo_throughput.py
 
 clean:
 	rm -rf .pytest_cache benchmarks/results __pycache__

@@ -12,6 +12,7 @@ import re
 
 from repro.analysis.report import format_table
 from repro.faults.campaign import CAMPAIGN_BUGS, run_bug
+from repro.parallel import run_bug_matrix
 
 #: bug id -> rule its modified-RABIT alert names (from the campaign).
 EXPECTED_CARRIER = {
@@ -38,14 +39,25 @@ def test_rule_knockout_ablation(emit, campaign_result, benchmark):
     }
     assert set(detected) == set(EXPECTED_CARRIER)
 
-    rows = []
+    carriers = {}
     for bug_id, outcome in sorted(detected.items()):
         match = re.search(r"\[([A-Z0-9-]+)\]", outcome.alert or "")
         carrier = match.group(1) if match else "?"
         assert carrier == EXPECTED_CARRIER[bug_id], (bug_id, outcome.alert)
+        carriers[bug_id] = carrier
 
-        bug = next(b for b in CAMPAIGN_BUGS if b.bug_id == bug_id)
-        knocked = run_bug(bug, "modified", exclude_rules=(carrier,))
+    # The knockout runs are independent (bug, config, exclude_rules)
+    # triples — the ablation shape the sharded engine fans out.  One
+    # worker per CPU; results come back in spec order either way.
+    specs = [
+        (next(b for b in CAMPAIGN_BUGS if b.bug_id == bug_id), "modified",
+         (carrier,))
+        for bug_id, carrier in sorted(carriers.items())
+    ]
+    knockouts = run_bug_matrix(specs, workers=None)
+
+    rows = []
+    for (bug_id, carrier), knocked in zip(sorted(carriers.items()), knockouts):
         if knocked.detected:
             # Defense in depth: another layer covers the hazard; name it.
             other = re.search(r"\[([A-Z0-9-]+)\]", knocked.alert or "")

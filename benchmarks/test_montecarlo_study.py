@@ -10,6 +10,7 @@ false-alarm rate the paper's usability argument rests on.
 """
 
 
+from repro.analysis.metrics import montecarlo_rows
 from repro.analysis.report import format_table
 from repro.faults.montecarlo import run_monte_carlo
 
@@ -19,22 +20,9 @@ SAMPLES = 30
 def test_monte_carlo_study(emit, benchmark):
     report = run_monte_carlo(samples=SAMPLES, seed=2024)
 
-    rows = [
-        ["sampled mutants", str(len(report.outcomes)), "single naive-programmer edits"],
-        ["harmful (ground truth)", str(report.harmful_total), "unmonitored run caused damage"],
-        ["detected (true positives)", str(report.count("true_positive")), ""],
-        ["missed (false negatives)", str(report.count("false_negative")),
-         "sensing gaps: Bug-C-class, arm-arm"],
-        ["benign mutants", str(len(report.outcomes) - report.harmful_total), ""],
-        ["false alarms", str(report.count("false_positive")), "paper's claim: zero"],
-        ["estimated detection rate", f"{report.detection_rate * 100:.0f} %",
-         "paper's 16-bug estimate: 75 %"],
-        ["estimated false-alarm rate", f"{report.false_alarm_rate * 100:.0f} %",
-         "paper: 0 %"],
-    ]
     rendered = format_table(
         ["quantity", "value", "note"],
-        rows,
+        montecarlo_rows(report),
         title=f"Monte Carlo bug study ({SAMPLES} random mutants, modified RABIT)",
     )
 

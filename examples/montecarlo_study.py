@@ -10,6 +10,7 @@ confusion matrix.
 
 Run:  python examples/montecarlo_study.py          (~1 minute, 10 mutants)
       python examples/montecarlo_study.py 40       (bigger sample)
+      python examples/montecarlo_study.py 40 4     (same sweep, 4 workers)
 """
 
 import sys
@@ -17,10 +18,10 @@ import sys
 from repro.faults.montecarlo import run_monte_carlo
 
 
-def main(samples: int = 10) -> None:
+def main(samples: int = 10, workers: int = 1) -> None:
     print(f"Sampling {samples} random single-edit mutants of the Fig. 5 workflow")
     print("(each runs twice: unmonitored ground truth, then under RABIT)...\n")
-    report = run_monte_carlo(samples=samples, seed=2024)
+    report = run_monte_carlo(samples=samples, seed=2024, workers=workers)
 
     for outcome in report.outcomes:
         marker = {
@@ -45,4 +46,7 @@ def main(samples: int = 10) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 10,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 1,
+    )

@@ -6,7 +6,11 @@ Operational entry points a lab would actually use:
   §V-A pilot-study schema validation), exit 1 on errors;
 - ``scenarios`` — run the Table III/IV controlled rule violations;
 - ``campaign`` — run the §IV 16-bug campaign and print Table V and the
-  detection-rate progression;
+  detection-rate progression (``--workers`` shards the runs over a
+  process pool with identical results);
+- ``montecarlo`` — sample random single-edit mutants of the Fig. 5
+  workflow and print the confusion matrix against unmonitored ground
+  truth, optionally exporting per-mutant outcomes as JSONL;
 - ``latency`` — the §II-C overhead experiment;
 - ``calibration`` — the §IV frame-calibration experiment;
 - ``mine`` — generate a synthetic RAD corpus and mine candidate rules;
@@ -75,7 +79,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     configs = args.configs.split(",") if args.configs else [
         "initial", "modified", "modified_es"
     ]
-    result = run_campaign(configs=configs)
+    result = run_campaign(configs=configs, workers=args.workers)
     rows = []
     for config in configs:
         stats = campaign_stats(result, config)
@@ -93,6 +97,39 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 1
     print("\nAll outcomes match the paper.")
     return 0
+
+
+def _cmd_montecarlo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.metrics import montecarlo_rows
+    from repro.analysis.report import format_table
+    from repro.faults.montecarlo import run_monte_carlo
+
+    report = run_monte_carlo(
+        samples=args.samples, seed=args.seed, workers=args.workers
+    )
+    print(format_table(
+        ["quantity", "value", "note"],
+        montecarlo_rows(report),
+        title=(
+            f"Monte Carlo bug study ({args.samples} random mutants, "
+            f"seed {args.seed}, modified RABIT)"
+        ),
+    ))
+    missed = [o for o in report.outcomes if o.classification == "false_negative"]
+    if missed:
+        print("\nMissed mutants:")
+        for outcome in missed:
+            print(f"  {outcome.description} -> {', '.join(outcome.damage_kinds)}")
+    if args.jsonl:
+        with Path(args.jsonl).open("w", encoding="utf-8") as fh:
+            for outcome in report.outcomes:
+                fh.write(json.dumps(outcome.as_dict(), sort_keys=True) + "\n")
+        print(f"\nwrote {len(report.outcomes)} mutant outcomes to {args.jsonl}")
+    # Exit nonzero on a false alarm: the paper's usability argument rests
+    # on zero false positives, so a sweep that finds one is a regression.
+    return 1 if report.count("false_positive") else 0
 
 
 def _cmd_latency(args: argparse.Namespace) -> int:
@@ -315,7 +352,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--configs", default="", help="comma-separated configurations (default: all three)"
     )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers; 0 means one per CPU (default: 1, sequential)",
+    )
     p.set_defaults(fn=_cmd_campaign)
+
+    p = sub.add_parser(
+        "montecarlo",
+        help="sample random workflow mutants; print the confusion matrix",
+    )
+    p.add_argument("--samples", type=int, default=40, help="mutants to sample")
+    p.add_argument("--seed", type=int, default=2024, help="sweep base seed")
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers; 0 means one per CPU (default: 1, sequential)",
+    )
+    p.add_argument(
+        "--jsonl", default="",
+        help="optional path for per-mutant outcomes as JSON lines",
+    )
+    p.set_defaults(fn=_cmd_montecarlo)
 
     p = sub.add_parser("latency", help="run the latency-overhead experiment")
     p.set_defaults(fn=_cmd_latency)

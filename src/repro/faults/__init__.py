@@ -10,7 +10,14 @@ reproduces that campaign deterministically:
 - :mod:`repro.faults.campaign` -- the 16 concrete bugs with the paper's
   Table V severity labels, and the runner that evaluates them against any
   RABIT configuration (initial / modified / modified + Extended
-  Simulator).
+  Simulator);
+- :mod:`repro.faults.montecarlo` -- random single-edit mutant sweeps
+  scored against unmonitored ground truth (the "large bug dataset" study
+  of §IV), with per-mutant RNG derived from ``(seed, index)``.
+
+Both runners accept ``workers=`` to shard their independent runs over a
+:mod:`repro.parallel` process pool with results identical to the
+sequential path.
 """
 
 from repro.faults.mutation import (

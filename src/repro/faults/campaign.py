@@ -96,6 +96,19 @@ class BugOutcome:
         """Whether detection matched the paper's reported outcome."""
         return self.detected == self.bug.expected[self.config]
 
+    def as_dict(self) -> dict:
+        """JSON-safe dict of every observable field."""
+        return {
+            "bug_id": self.bug.bug_id,
+            "config": self.config,
+            "detected": self.detected,
+            "alert": self.alert,
+            "device_error": self.device_error,
+            "damage": [str(event) for event in self.damage],
+            "completed": self.completed,
+            "matches_paper": self.matches_paper,
+        }
+
 
 @dataclass
 class CampaignResult:
@@ -128,6 +141,15 @@ class CampaignResult:
     def mismatches(self) -> List[BugOutcome]:
         """Outcomes that deviate from the paper's reported detection."""
         return [o for o in self.outcomes if not o.matches_paper]
+
+    def canonical_bytes(self) -> bytes:
+        """Canonical JSON serialization of every outcome field — the
+        differential harness's sequential-vs-sharded equality witness."""
+        import json
+
+        return json.dumps(
+            [o.as_dict() for o in self.outcomes], sort_keys=True
+        ).encode()
 
 
 # ---------------------------------------------------------------------------
@@ -537,8 +559,21 @@ def run_bug(
 def run_campaign(
     configs: Sequence[str] = ("initial", "modified", "modified_es"),
     bugs: Sequence[InjectedBug] = CAMPAIGN_BUGS,
+    workers: Optional[int] = 1,
 ) -> CampaignResult:
-    """Run every bug under every configuration."""
+    """Run every bug under every configuration.
+
+    ``workers > 1`` shards the (config, bug) grid over a process pool
+    (``None`` means one worker per CPU); every bug run is independent and
+    deterministic, so the merged result is identical to the sequential
+    one in canonical configuration-major order."""
+    from repro.parallel.engine import resolve_workers
+
+    if resolve_workers(workers, len(configs) * len(bugs)) > 1:
+        from repro.parallel.runners import run_campaign_sharded
+
+        return run_campaign_sharded(configs=configs, bugs=bugs, workers=workers)
+
     result = CampaignResult()
     for config in configs:
         for bug in bugs:

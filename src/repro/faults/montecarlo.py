@@ -18,12 +18,19 @@ The confusion matrix gives an estimated detection rate over a much larger
 sample than 16 hand-made bugs, plus the empirical false-alarm rate on
 *benign* mutants (mutations that change nothing safety-relevant), which
 the paper's zero-false-positive claim predicts to be zero.
+
+Determinism contract: mutant *i* of a sweep seeded with *s* is a pure
+function of ``(s, i)`` — each sample owns an RNG derived via
+``SeedSequence(s, spawn_key=(i,))`` rather than drawing from one shared
+sequential stream.  Growing the sample count, reordering execution, or
+sharding the sweep across a process pool (``workers > 1`` delegates to
+:mod:`repro.parallel`) therefore never changes an earlier outcome.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,6 +79,17 @@ class MutantOutcome:
             return "false_positive"
         return "true_negative"
 
+    def as_dict(self) -> dict:
+        """JSON-safe dict of every field (the JSONL export row)."""
+        return {
+            "index": self.seed,
+            "description": self.description,
+            "harmful": self.harmful,
+            "detected": self.detected,
+            "damage_kinds": list(self.damage_kinds),
+            "classification": self.classification,
+        }
+
 
 @dataclass
 class MonteCarloReport:
@@ -102,6 +120,40 @@ class MonteCarloReport:
         if benign == 0:
             return 0.0
         return self.count("false_positive") / benign
+
+    def canonical_bytes(self) -> bytes:
+        """Canonical JSON serialization of every outcome field.
+
+        The differential harness's equality witness: two sweeps agree iff
+        these bytes agree, regardless of how either was executed."""
+        import json
+
+        return json.dumps(
+            [o.as_dict() for o in self.outcomes], sort_keys=True
+        ).encode()
+
+
+def _rng_for_sample(base_seed: int, index: int) -> np.random.Generator:
+    """The RNG owned by mutant *index* of a sweep seeded with *base_seed*.
+
+    Derived from ``(base_seed, index)`` alone, so every sample's stream is
+    independent of how many other samples run, in what order, or in which
+    process."""
+    return np.random.default_rng(np.random.SeedSequence(base_seed, spawn_key=(index,)))
+
+
+def reference_line_ids() -> List[str]:
+    """Line ids of the safe Fig. 5 workflow that mutations may target.
+
+    Built from a throwaway deck; pure and deterministic, so every worker
+    process derives the identical list."""
+    deck = build_testbed_deck()
+    proxies, _ = instrument(deck.devices, rabit=None)
+    return [
+        line.line_id
+        for line in build_testbed_workflow(proxies)
+        if line.line_id not in _STRUCTURAL_TAIL
+    ]
 
 
 def _sample_mutation(rng: np.random.Generator, line_ids: Sequence[str]):
@@ -156,47 +208,54 @@ def _run_mutant(mutation_factory, monitored: bool) -> Tuple[bool, Tuple[str, ...
     return stopped, damage
 
 
-def run_monte_carlo(samples: int = 40, seed: int = 2024) -> MonteCarloReport:
+def score_mutant(index: int, base_seed: int, line_ids: Sequence[str]) -> MutantOutcome:
+    """Sample and score mutant *index* of the sweep seeded *base_seed*.
+
+    The single unit of work both the sequential loop and the parallel
+    shards execute — a pure function of ``(base_seed, index)`` (plus the
+    deterministic *line_ids*), which is what makes the sharded sweep
+    mergeable in any order."""
+    description, factory = _sample_mutation(_rng_for_sample(base_seed, index), line_ids)
+    try:
+        _, truth_damage = _run_mutant(factory, monitored=False)
+        detected, _ = _run_mutant(factory, monitored=True)
+    except Exception as exc:  # noqa: BLE001 - classify, don't crash the sweep
+        return MutantOutcome(
+            seed=index,
+            description=f"{description} (errored: {type(exc).__name__})",
+            harmful=True,
+            detected=False,
+            damage_kinds=("harness_error",),
+        )
+    return MutantOutcome(
+        seed=index,
+        description=description,
+        harmful=bool(truth_damage),
+        detected=detected,
+        damage_kinds=truth_damage,
+    )
+
+
+def run_monte_carlo(
+    samples: int = 40, seed: int = 2024, workers: Optional[int] = 1
+) -> MonteCarloReport:
     """Sample *samples* mutants; score each against ground truth.
 
     Each mutant runs twice: once unmonitored (ground truth — is the edit
     actually harmful?) and once under modified RABIT (the verdict).
-    Deterministic under *seed*.
+    Deterministic under *seed* for every *workers* value: ``workers > 1``
+    shards the sweep over a process pool (``None`` means one worker per
+    CPU), and the merged report is identical to the sequential one.
     """
-    rng = np.random.default_rng(seed)
-    # Sample line ids once from a reference workflow build.
-    deck = build_testbed_deck()
-    proxies, _ = instrument(deck.devices, rabit=None)
-    line_ids = [
-        line.line_id
-        for line in build_testbed_workflow(proxies)
-        if line.line_id not in _STRUCTURAL_TAIL
-    ]
+    from repro.parallel.engine import resolve_workers
 
+    if resolve_workers(workers, samples) > 1:
+        from repro.parallel.runners import run_monte_carlo_sharded
+
+        return run_monte_carlo_sharded(samples=samples, seed=seed, workers=workers)
+
+    line_ids = reference_line_ids()
     report = MonteCarloReport()
     for index in range(samples):
-        description, factory = _sample_mutation(rng, line_ids)
-        try:
-            _, truth_damage = _run_mutant(factory, monitored=False)
-            detected, _ = _run_mutant(factory, monitored=True)
-        except Exception as exc:  # noqa: BLE001 - classify, don't crash the sweep
-            report.outcomes.append(
-                MutantOutcome(
-                    seed=index,
-                    description=f"{description} (errored: {type(exc).__name__})",
-                    harmful=True,
-                    detected=False,
-                    damage_kinds=("harness_error",),
-                )
-            )
-            continue
-        report.outcomes.append(
-            MutantOutcome(
-                seed=index,
-                description=description,
-                harmful=bool(truth_damage),
-                detected=detected,
-                damage_kinds=truth_damage,
-            )
-        )
+        report.outcomes.append(score_mutant(index, seed, line_ids))
     return report

@@ -193,6 +193,8 @@ class Observability:
             "collision_segments_swept": total("es_segments_swept_total"),
             "geometry_pair_checks": total("geometry_pair_checks_total"),
             "device_commands": total("device_commands_total"),
+            "parallel_mutants_dispatched": total("parallel_mutants_dispatched_total"),
+            "parallel_mutants_completed": total("parallel_mutants_completed_total"),
             "spans_recorded": self.collector.recorded,
             "spans_dropped": self.collector.dropped,
         }

@@ -1,0 +1,32 @@
+"""``repro.parallel`` — sharded fault-injection execution.
+
+A process-pool engine (:mod:`repro.parallel.engine`) plus workload
+adapters (:mod:`repro.parallel.runners`) that fan the embarrassingly
+parallel fault-injection studies — Monte Carlo mutant sweeps, the 16-bug
+campaign, rule-knockout ablations — across ``fork`` workers with
+deterministic seed partitioning and an exact positional merge: results
+are identical to the sequential path for every worker count.
+
+Callers normally reach this through ``workers=`` on
+:func:`repro.faults.montecarlo.run_monte_carlo` and
+:func:`repro.faults.campaign.run_campaign` (or the CLI's ``--workers``),
+not by importing it directly.  This package imports :mod:`repro.faults`
+and :mod:`repro.obs`; the faults runners import it lazily, keeping the
+dependency cycle out of module import time.
+"""
+
+from repro.parallel.engine import fork_pool_available, resolve_workers, run_sharded
+from repro.parallel.runners import (
+    run_bug_matrix,
+    run_campaign_sharded,
+    run_monte_carlo_sharded,
+)
+
+__all__ = [
+    "fork_pool_available",
+    "resolve_workers",
+    "run_sharded",
+    "run_bug_matrix",
+    "run_campaign_sharded",
+    "run_monte_carlo_sharded",
+]

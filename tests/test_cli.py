@@ -82,6 +82,33 @@ class TestCampaign:
         assert "match the paper" in out
 
 
+class TestMonteCarlo:
+    def test_small_sweep_with_jsonl_export(self, tmp_path, capsys):
+        # Two mutants keep the CLI test fast (each is two full runs);
+        # seed 30's first two are a Bug-C-class miss and a caught spill.
+        jsonl = tmp_path / "mutants.jsonl"
+        code = main(
+            ["montecarlo", "--samples", "2", "--seed", "30",
+             "--jsonl", str(jsonl)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Monte Carlo bug study" in out
+        assert "sampled mutants" in out and "false alarms" in out
+        assert "Missed mutants:" in out and "delete pick_grid" in out
+
+        rows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert [r["index"] for r in rows] == [0, 1]
+        assert rows[0]["description"] == "delete pick_grid"
+        assert rows[0]["classification"] == "false_negative"
+        assert rows[1]["classification"] == "true_positive"
+        assert all(
+            set(r) == {"index", "description", "harmful", "detected",
+                       "damage_kinds", "classification"}
+            for r in rows
+        )
+
+
 class TestMetrics:
     def test_solubility_workload_exports_trace_and_prometheus(self, tmp_path, capsys):
         from repro.obs import OBS

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.faults.montecarlo import MonteCarloReport, MutantOutcome, run_monte_carlo
+from repro.faults.montecarlo import (
+    MonteCarloReport,
+    MutantOutcome,
+    _rng_for_sample,
+    _sample_mutation,
+    reference_line_ids,
+    run_monte_carlo,
+)
 
 
 @pytest.fixture(scope="module")
@@ -52,6 +59,57 @@ class TestSweep:
         picks = [o for o in report.outcomes if o.description == "delete pick_grid"]
         for outcome in picks:
             assert outcome.classification == "false_negative"
+
+
+class TestSeedStability:
+    """The determinism contract: mutant *i* of seed *s* depends on
+    ``(s, i)`` alone — never on the sample count or execution order."""
+
+    #: Pinned outcomes of ``run_monte_carlo(samples=10, seed=2024)``.
+    #: These may only change with a deliberate (documented) change to the
+    #: mutation operators or RNG derivation — growing the sweep, sharding
+    #: it, or reordering execution must never touch them.
+    PINNED_SEED_2024 = [
+        ("perturb dosing_pickup_viperx.x by +0.04", "true_negative"),
+        ("delete home_1", "true_negative"),
+        ("perturb grid_ne_ned2_safe.z by -0.08", "true_negative"),
+        ("swap decap_vial <-> home_1", "true_negative"),
+        ("perturb grid_ne_ned2.x by +0.08", "true_negative"),
+        ("perturb grid_nw_viperx.y by +0.08", "true_negative"),
+        ("delete sleep_viperx", "true_negative"),
+        ("swap place_dosing <-> home_2", "true_negative"),
+        ("delete open_door_initial", "true_positive"),
+        ("delete open_door_initial", "true_positive"),
+    ]
+
+    def test_pinned_outcomes_for_fixed_seed(self, report):
+        assert [
+            (o.description, o.classification) for o in report.outcomes
+        ] == self.PINNED_SEED_2024
+
+    def test_outcome_index_recorded(self, report):
+        assert [o.seed for o in report.outcomes] == list(range(10))
+
+    def test_sampling_independent_of_sample_count(self):
+        # Descriptions only (sampling is cheap; running mutants is not):
+        # the first k mutants of a longer sweep are exactly the k-sample
+        # sweep, because each index owns its own derived RNG.
+        line_ids = reference_line_ids()
+
+        def descriptions(seed, count):
+            return [
+                _sample_mutation(_rng_for_sample(seed, i), line_ids)[0]
+                for i in range(count)
+            ]
+
+        for seed in (7, 30, 2024):
+            assert descriptions(seed, 12)[:5] == descriptions(seed, 5)
+
+    def test_distinct_seeds_sample_distinct_streams(self):
+        line_ids = reference_line_ids()
+        a = [_sample_mutation(_rng_for_sample(7, i), line_ids)[0] for i in range(8)]
+        b = [_sample_mutation(_rng_for_sample(8, i), line_ids)[0] for i in range(8)]
+        assert a != b
 
 
 class TestOutcomeModel:

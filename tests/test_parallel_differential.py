@@ -1,0 +1,89 @@
+"""Differential harness: sharded execution must equal sequential, byte for byte.
+
+The determinism contract of :mod:`repro.parallel` — per-mutant RNG from
+``(base_seed, sample_index)``, exact positional merge — promises that a
+``MonteCarloReport`` or ``CampaignResult`` is a pure function of its
+arguments, never of the worker count, chunk size, or completion order.
+This suite runs the same sweeps sequentially and under 2- and 4-worker
+pools (and with observability enabled) and compares the reports'
+``canonical_bytes()`` serializations — every field of every outcome, not
+just headline rates.
+
+Sample counts are small (every mutant is two full workflow runs), but
+they cover multi-chunk dispatch on every pool size used here.
+"""
+
+import pytest
+
+from repro.faults.campaign import CAMPAIGN_BUGS, run_campaign
+from repro.faults.montecarlo import run_monte_carlo
+from repro.obs import OBS
+from repro.parallel.engine import fork_pool_available
+
+SAMPLES = 6
+#: Seed 30's first six mutants cover a Bug-C-class miss (false negative),
+#: three detected-harmful edits, and two benign ones — every confusion
+#: cell a correct monitor can produce, in one small window.
+SEED = 30
+
+#: Two configurations x five bugs: exercises cross-config canonical
+#: ordering without running the full 48-run campaign three times.
+CAMPAIGN_CONFIGS = ("initial", "modified")
+CAMPAIGN_BUG_SUBSET = CAMPAIGN_BUGS[:5]
+
+needs_fork = pytest.mark.skipif(
+    not fork_pool_available(), reason="no fork start method on this platform"
+)
+
+
+@pytest.fixture(scope="module")
+def sequential_report():
+    return run_monte_carlo(samples=SAMPLES, seed=SEED, workers=1)
+
+
+@needs_fork
+@pytest.mark.parametrize("workers", [2, 4], ids=["workers2", "workers4"])
+def test_montecarlo_parallel_matches_sequential(sequential_report, workers):
+    parallel = run_monte_carlo(samples=SAMPLES, seed=SEED, workers=workers)
+    assert parallel.canonical_bytes() == sequential_report.canonical_bytes()
+    # Dataclass equality too — the merge reassembles the same values, not
+    # merely ones that serialize alike.
+    assert parallel.outcomes == sequential_report.outcomes
+
+
+@needs_fork
+def test_montecarlo_identical_under_observability(sequential_report):
+    """Enabling obs changes metrics, never the report (2-worker pool)."""
+    OBS.reset()
+    OBS.enable()
+    try:
+        parallel = run_monte_carlo(samples=SAMPLES, seed=SEED, workers=2)
+        completed = OBS.registry.get("parallel_mutants_completed_total").total()
+        wall = OBS.registry.get("parallel_mutant_wall_seconds").counts(
+            kind="montecarlo"
+        )
+    finally:
+        OBS.disable()
+        OBS.reset()
+    assert parallel.canonical_bytes() == sequential_report.canonical_bytes()
+    assert completed == SAMPLES
+    assert wall["count"] == SAMPLES
+    assert wall["sum"] > 0.0
+
+
+@needs_fork
+def test_campaign_parallel_matches_sequential():
+    sequential = run_campaign(
+        configs=CAMPAIGN_CONFIGS, bugs=CAMPAIGN_BUG_SUBSET, workers=1
+    )
+    parallel = run_campaign(
+        configs=CAMPAIGN_CONFIGS, bugs=CAMPAIGN_BUG_SUBSET, workers=2
+    )
+    assert parallel.canonical_bytes() == sequential.canonical_bytes()
+    # Canonical configuration-major order, preserved by the merge.
+    assert [o.config for o in parallel.outcomes] == [
+        config for config in CAMPAIGN_CONFIGS for _ in CAMPAIGN_BUG_SUBSET
+    ]
+    assert [o.bug.bug_id for o in parallel.outcomes] == [
+        bug.bug_id for _ in CAMPAIGN_CONFIGS for bug in CAMPAIGN_BUG_SUBSET
+    ]
