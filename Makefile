@@ -1,6 +1,6 @@
 # Convenience targets for the RABIT reproduction.
 
-.PHONY: install lint test bench examples campaign latency metrics montecarlo check clean
+.PHONY: install lint test bench fk-bench examples campaign latency metrics montecarlo check clean
 
 install:
 	pip install -e .[dev]
@@ -20,6 +20,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+fk-bench:
+	PYTHONPATH=src python -m pytest benchmarks/test_fk_throughput.py
 
 examples:
 	python examples/quickstart.py
@@ -46,8 +49,8 @@ montecarlo:
 # reproduce.
 check:
 	PYTHONPATH=src python -m pytest -x -q tests/
-	PYTHONPATH=src python -m pytest -q tests/test_collision_differential.py tests/test_stateful_no_false_positives.py tests/test_obs_differential.py tests/test_parallel_differential.py
-	PYTHONPATH=src python -m pytest -q benchmarks/test_collision_throughput.py benchmarks/test_latency_overhead.py benchmarks/test_obs_overhead.py benchmarks/test_montecarlo_throughput.py
+	PYTHONPATH=src python -m pytest -q tests/test_collision_differential.py tests/test_kinematics_differential.py tests/test_stateful_no_false_positives.py tests/test_obs_differential.py tests/test_parallel_differential.py
+	PYTHONPATH=src python -m pytest -q benchmarks/test_collision_throughput.py benchmarks/test_fk_throughput.py benchmarks/test_latency_overhead.py benchmarks/test_obs_overhead.py benchmarks/test_montecarlo_throughput.py
 
 clean:
 	rm -rf .pytest_cache benchmarks/results __pycache__

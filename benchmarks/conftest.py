@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import datetime
 import json
+import os
 import platform
 import subprocess
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.faults.campaign import CampaignResult, run_campaign
@@ -55,6 +57,8 @@ def trend():
         ),
         "commit": _git_commit(),
         "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
     }
 
     def _append(metric: str, values: dict) -> None:

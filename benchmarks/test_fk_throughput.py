@@ -1,0 +1,120 @@
+"""Trajectory forward-kinematics throughput: scalar reference vs batched kernel.
+
+A guarded move costs ``resolution x dof`` forward-kinematics evaluations
+before the collision check even starts — the kinematics half of the
+Extended Simulator's polling loop.  This benchmark runs the same
+trajectory sweep (S polled postures -> full-arm polylines) through the
+scalar per-sample loop and the batched ``(S, dof)`` kernel, re-checks
+that they agree exactly on the benchmark scene, and requires the batched
+path to be at least 5x faster.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.kinematics.profiles import UR5E
+from repro.kinematics.trajectory import plan_joint_trajectory
+
+N_TRAJECTORIES = 24
+RESOLUTION = 60
+MIN_SPEEDUP = 5.0
+
+
+def _scene(seed: int = 7):
+    """Random joint-space motions on the UR5e, within joint limits."""
+    rng = np.random.default_rng(seed)
+    chain = UR5E.chain()
+    lo, hi = UR5E.limit_arrays()
+    trajectories = [
+        plan_joint_trajectory(chain, rng.uniform(lo, hi), rng.uniform(lo, hi))
+        for _ in range(N_TRAJECTORIES)
+    ]
+    return chain, trajectories
+
+
+def _scalar_sweep(trajectories):
+    """The reference: per-sample `joint_positions` loop (link_paths)."""
+    return [traj.link_paths(RESOLUTION) for traj in trajectories]
+
+
+def _batch_sweep(trajectories):
+    """The batched kernel: one `(S, dof)` FK pass per trajectory."""
+    return [traj.link_paths_array(RESOLUTION) for traj in trajectories]
+
+
+def _best_of(k, fn):
+    best = float("inf")
+    for _ in range(k):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_fk_throughput(emit, trend, benchmark):
+    chain, trajectories = _scene()
+
+    # Correctness first: exact scalar/batch agreement on every polled
+    # posture of the benchmark scene (the differential suite's invariant).
+    scalar_paths = _scalar_sweep(trajectories)
+    batch_paths = _batch_sweep(trajectories)
+    disagreements = 0
+    for scalar_traj, batch_traj in zip(scalar_paths, batch_paths):
+        for frame, row in zip(scalar_traj, batch_traj):
+            if not np.array_equal(np.array(frame), row):
+                disagreements += 1
+    assert disagreements == 0
+
+    samples = N_TRAJECTORIES * (RESOLUTION + 1)
+    fk_evals = samples * chain.dof
+    t_scalar = _best_of(3, lambda: _scalar_sweep(trajectories))
+    t_batch = _best_of(10, lambda: _batch_sweep(trajectories))
+    speedup = t_scalar / t_batch
+
+    rows = [
+        [
+            "scalar reference",
+            f"{t_scalar * 1e3:.2f} ms",
+            f"{samples / t_scalar:,.0f}",
+            f"{fk_evals / t_scalar:,.0f}",
+            "1.0x",
+        ],
+        [
+            "batched kernel",
+            f"{t_batch * 1e3:.2f} ms",
+            f"{samples / t_batch:,.0f}",
+            f"{fk_evals / t_batch:,.0f}",
+            f"{speedup:.1f}x",
+        ],
+    ]
+    rendered = format_table(
+        ["implementation", "sweep time", "postures/s", "link FK evals/s", "speedup"],
+        rows,
+        title=(
+            f"Trajectory FK throughput ({N_TRAJECTORIES} trajectories x "
+            f"{RESOLUTION + 1} samples x {chain.dof} links, 0 disagreements)"
+        ),
+    )
+    emit("fk_throughput", rendered)
+    trend(
+        "fk_throughput",
+        {
+            "scalar_ms": round(t_scalar * 1e3, 4),
+            "batch_ms": round(t_batch * 1e3, 4),
+            "speedup": round(speedup, 2),
+            "postures_per_second_batch": round(samples / t_batch),
+            "fk_evals_per_second_batch": round(fk_evals / t_batch),
+        },
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched FK kernel only {speedup:.1f}x faster than scalar "
+        f"(required: {MIN_SPEEDUP}x)"
+    )
+
+    benchmark(lambda: _batch_sweep(trajectories))
+    benchmark.extra_info["speedup_vs_scalar"] = round(speedup, 1)
+    benchmark.extra_info["postures_per_second_batch"] = round(samples / t_batch)
+    benchmark.extra_info["postures_per_second_scalar"] = round(samples / t_scalar)

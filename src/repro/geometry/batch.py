@@ -233,6 +233,43 @@ class BatchCollisionEngine:
             return np.full(hits.shape[0], -1, dtype=np.int64)
         return np.where(hits.any(axis=1), hits.argmax(axis=1), -1)
 
+    def polylines_hit_indices(
+        self, paths: Sequence[Sequence[Sequence[float]]]
+    ) -> np.ndarray:
+        """First-hit cuboid per polyline of an ``(S, P, 3)`` stacked sweep.
+
+        *paths* packs S polylines of P points each — the Extended
+        Simulator's per-sample arm polylines from
+        :meth:`~repro.kinematics.dh.DHChain.joint_positions_batch`.  All
+        ``S x (P - 1)`` segments are slab-tested against all N cuboids in
+        one pass; the result is an ``(S,)`` int array whose element ``s``
+        is the index of the cuboid hit first along polyline *s* (ordered
+        by segment, then entry time, ties to the lowest cuboid index —
+        :meth:`polyline_first_hit`'s convention), or ``-1`` when polyline
+        *s* is clear.
+        """
+        arr = np.asarray(paths, dtype=np.float64)
+        if arr.ndim != 3 or arr.shape[2] != 3:
+            raise ValueError(
+                f"expected an (S, P, 3) polyline stack, got shape {arr.shape}"
+            )
+        s, p, _ = arr.shape
+        out = np.full(s, -1, dtype=np.int64)
+        if p < 2 or not self._names:
+            return out
+        times = self.segment_entry_times(
+            arr[:, :-1].reshape(-1, 3), arr[:, 1:].reshape(-1, 3)
+        ).reshape(s, p - 1, len(self._names))
+        seg_any = (~np.isnan(times)).any(axis=2)  # (S, P-1)
+        hit_samples = np.nonzero(seg_any.any(axis=1))[0]
+        if hit_samples.size == 0:
+            return out
+        first_seg = np.argmax(seg_any[hit_samples], axis=1)
+        rows = times[hit_samples, first_seg]  # (H, N)
+        t = np.nanmin(rows, axis=1)
+        out[hit_samples] = np.argmax(rows == t[:, None], axis=1)
+        return out
+
     def polyline_first_hit(
         self, waypoints: Sequence[Sequence[float]]
     ) -> Optional[CollisionHit]:

@@ -29,7 +29,13 @@ from repro.kinematics.profiles import (
     N9,
     profile_by_name,
 )
-from repro.kinematics.ik import IKResult, solve_position_ik
+from repro.kinematics.ik import (
+    IKResult,
+    analytic_position_jacobian,
+    numeric_position_jacobian,
+    solve_position_ik,
+    solve_position_ik_batch,
+)
 from repro.kinematics.trajectory import JointTrajectory, plan_joint_trajectory
 from repro.kinematics.arm import ArmKinematics, TrajectoryPlan, UnreachableTargetError
 
@@ -45,7 +51,10 @@ __all__ = [
     "N9",
     "profile_by_name",
     "IKResult",
+    "analytic_position_jacobian",
+    "numeric_position_jacobian",
     "solve_position_ik",
+    "solve_position_ik_batch",
     "JointTrajectory",
     "plan_joint_trajectory",
     "ArmKinematics",

@@ -7,16 +7,44 @@ of freedom are absorbed by the damping term.  Damped least squares (the
 Levenberg-Marquardt form of resolved-rate IK) is robust near singularities,
 which matters because the testbed arms are asked to reach deliberately
 awkward targets during fault injection.
+
+The Jacobian comes in two flavours:
+
+- :func:`analytic_position_jacobian` (the default) reads joint axes and
+  origins off one :meth:`~repro.kinematics.dh.DHChain.frames` pass and
+  builds the standard geometric columns — ``z_{i-1} x (p_e - p_{i-1})``
+  for a revolute joint, ``z_{i-1}`` for a prismatic one.  One FK pass per
+  iteration instead of the ``2 x dof`` passes central differences need.
+- :func:`numeric_position_jacobian` is the central-difference reference
+  the differential suite checks the analytic columns against (they agree
+  to ~1e-10; the suite gates at 1e-6).
+
+:func:`solve_position_ik_batch` solves many targets at once — the shape
+fault-injection campaigns need — by running every damped-least-squares
+iteration across all still-unconverged targets through the batched FK
+kernel, retiring targets as they converge.  Its per-target arithmetic is
+element-for-element the scalar solver's, so verdicts and solutions match
+the sequential loop exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.kinematics.dh import DHChain
+from repro.obs import OBS
+
+_OBS_JACOBIANS = OBS.registry.counter(
+    "kinematics_ik_jacobians_total",
+    "Position-Jacobian evaluations, by mode.",
+    labels=("mode",),
+)
+
+#: Largest joint-space step per iteration (keeps the linearization valid).
+_MAX_STEP = 0.5
 
 
 @dataclass(frozen=True)
@@ -26,7 +54,8 @@ class IKResult:
     ``converged`` is False when the target is unreachable (outside the arm's
     workspace or blocked by joint limits); ``error`` is the remaining
     Cartesian distance to the target, which callers compare against their
-    tolerance.
+    tolerance.  ``q`` holds builtin floats (never numpy scalars) so results
+    serialize type-stably into reports and JSONL traces.
     """
 
     q: Tuple[float, ...]
@@ -35,8 +64,12 @@ class IKResult:
     converged: bool
 
 
-def _position_jacobian(chain: DHChain, q: np.ndarray, eps: float = 1e-6) -> np.ndarray:
-    """Numeric 3xN position Jacobian by central differences."""
+def numeric_position_jacobian(
+    chain: DHChain, q: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Numeric 3xN position Jacobian by central differences (the reference)."""
+    if OBS.enabled:
+        _OBS_JACOBIANS.inc(1, mode="numeric")
     n = chain.dof
     jac = np.zeros((3, n))
     for i in range(n):
@@ -48,6 +81,48 @@ def _position_jacobian(chain: DHChain, q: np.ndarray, eps: float = 1e-6) -> np.n
     return jac
 
 
+def analytic_position_jacobian(chain: DHChain, q: np.ndarray) -> np.ndarray:
+    """Exact 3xN position Jacobian from one forward-kinematics pass.
+
+    Standard geometric construction: for revolute joint *i* the column is
+    ``z_{i-1} x (p_e - p_{i-1})``, for a prismatic joint it is ``z_{i-1}``,
+    with axes and origins read off the chain's frame stack.
+    """
+    if OBS.enabled:
+        _OBS_JACOBIANS.inc(1, mode="analytic")
+    frames = chain.frames(q)  # (dof + 1, 4, 4)
+    z = frames[:-1, :3, 2]  # (dof, 3) joint axes
+    p = frames[:-1, :3, 3]  # (dof, 3) joint origins
+    p_e = frames[-1, :3, 3]
+    columns = np.where(
+        chain.prismatic_mask[:, None], z, np.cross(z, p_e - p)
+    )  # (dof, 3)
+    return columns.T
+
+
+# Backwards-compatible alias for the pre-vectorization private name.
+_position_jacobian = numeric_position_jacobian
+
+
+def _analytic_jacobian_from_frames(
+    frames: np.ndarray, prismatic: np.ndarray
+) -> np.ndarray:
+    """Batched geometric Jacobians: ``(S, dof + 1, 4, 4)`` frames in,
+    ``(S, 3, dof)`` Jacobians out — the same columns as
+    :func:`analytic_position_jacobian`, for every sample at once."""
+    z = frames[:, :-1, :3, 2]  # (S, dof, 3)
+    p = frames[:, :-1, :3, 3]
+    p_e = frames[:, -1:, :3, 3]  # (S, 1, 3)
+    columns = np.where(prismatic[None, :, None], z, np.cross(z, p_e - p))
+    return np.swapaxes(columns, 1, 2)
+
+
+def _limit_bounds(joint_limits) -> Tuple[np.ndarray, np.ndarray]:
+    """Joint limits as a pair of ``(dof,)`` lo/hi arrays."""
+    limits = np.asarray(joint_limits, dtype=np.float64)
+    return limits[..., 0], limits[..., 1]
+
+
 def solve_position_ik(
     chain: DHChain,
     target: Sequence[float],
@@ -56,17 +131,34 @@ def solve_position_ik(
     tolerance: float = 1e-4,
     max_iterations: int = 200,
     damping: float = 0.05,
+    jacobian: str = "analytic",
 ) -> IKResult:
     """Solve for joint angles placing the end effector at *target*.
 
     Iterates ``q += J^T (J J^T + λ²I)^{-1} e`` from the seed posture *q0*,
-    clamping to *joint_limits* after every step.  Convergence means the
-    Cartesian error dropped below *tolerance*.
+    clamping to *joint_limits* before every error evaluation — so the
+    recorded best posture (and therefore ``IKResult.q``) is always
+    feasible, even when the seed itself violates the limits.  Convergence
+    means the Cartesian error dropped below *tolerance*.
+
+    *jacobian* selects ``"analytic"`` (default) or ``"numeric"``
+    central-difference columns; the latter exists as the differential
+    reference and produces identical convergence verdicts.
     """
     q = np.asarray(q0, dtype=np.float64).copy()
     tgt = np.asarray(target, dtype=np.float64)
     if tgt.shape != (3,):
         raise ValueError(f"target must be a 3D point, got shape {tgt.shape}")
+    if jacobian not in ("analytic", "numeric"):
+        raise ValueError(f"unknown jacobian mode {jacobian!r}")
+    jac_fn = (
+        analytic_position_jacobian if jacobian == "analytic"
+        else numeric_position_jacobian
+    )
+    limits_lo = limits_hi = None
+    if joint_limits is not None:
+        limits_lo, limits_hi = _limit_bounds(joint_limits)
+        np.clip(q, limits_lo, limits_hi, out=q)
 
     lam_sq = damping * damping
     best_q = q.copy()
@@ -79,20 +171,126 @@ def solve_position_ik(
             best_err = err
             best_q = q.copy()
         if err < tolerance:
-            return IKResult(tuple(q), err, iteration, converged=True)
+            return IKResult(
+                tuple(float(x) for x in q), err, iteration, converged=True
+            )
 
-        jac = _position_jacobian(chain, q)
+        jac = jac_fn(chain, q)
         jjt = jac @ jac.T + lam_sq * np.eye(3)
         dq = jac.T @ np.linalg.solve(jjt, error_vec)
 
         # Limit the per-step joint motion so the linearization stays valid.
         step_norm = float(np.linalg.norm(dq))
-        if step_norm > 0.5:
-            dq *= 0.5 / step_norm
+        if step_norm > _MAX_STEP:
+            dq *= _MAX_STEP / step_norm
         q = q + dq
 
-        if joint_limits is not None:
-            for i, (lo, hi) in enumerate(joint_limits):
-                q[i] = min(max(q[i], lo), hi)
+        if limits_lo is not None:
+            np.clip(q, limits_lo, limits_hi, out=q)
 
-    return IKResult(tuple(best_q), best_err, max_iterations, converged=False)
+    return IKResult(
+        tuple(float(x) for x in best_q), best_err, max_iterations, converged=False
+    )
+
+
+def solve_position_ik_batch(
+    chain: DHChain,
+    targets: Sequence[Sequence[float]],
+    q0: Sequence[float] | Sequence[Sequence[float]],
+    joint_limits: Optional[Sequence[Tuple[float, float]]] = None,
+    tolerance: float = 1e-4,
+    max_iterations: int = 200,
+    damping: float = 0.05,
+) -> List[IKResult]:
+    """Solve one IK problem per row of *targets*, vectorized over targets.
+
+    *q0* is either a single seed posture shared by every target or one
+    seed row per target.  Each damped-least-squares iteration runs all
+    still-unconverged targets through the batched FK kernel at once:
+    stacked Jacobians, stacked ``3x3`` solves, per-row step clamping, and
+    joint-limit clipping.  A target that converges retires from the
+    active set with its iteration count; the rest keep iterating.
+
+    The per-target arithmetic is exactly the scalar solver's, so the
+    returned :class:`IKResult` list matches ``[solve_position_ik(chain,
+    t, ...) for t in targets]`` — verdicts, iteration counts, and
+    solutions alike.  Fault-injection campaigns use this to precompute
+    reachability for whole location tables in one call.
+    """
+    tgts = np.asarray(targets, dtype=np.float64)
+    if tgts.ndim != 2 or tgts.shape[1] != 3:
+        raise ValueError(f"targets must be (T, 3) points, got shape {tgts.shape}")
+    t_count = tgts.shape[0]
+    seeds = np.asarray(q0, dtype=np.float64)
+    if seeds.ndim == 1:
+        seeds = np.broadcast_to(seeds, (t_count, chain.dof)).copy()
+    elif seeds.shape != (t_count, chain.dof):
+        raise ValueError(
+            f"q0 must be ({chain.dof},) or ({t_count}, {chain.dof}), "
+            f"got shape {seeds.shape}"
+        )
+    else:
+        seeds = seeds.copy()
+    if t_count == 0:
+        return []
+    limits_lo = limits_hi = None
+    if joint_limits is not None:
+        limits_lo, limits_hi = _limit_bounds(joint_limits)
+        np.clip(seeds, limits_lo, limits_hi, out=seeds)
+
+    lam_sq = damping * damping
+    eye3 = lam_sq * np.eye(3)
+    q = seeds
+    best_q = q.copy()
+    best_err = np.full(t_count, np.inf)
+    active = np.arange(t_count)
+    results: List[Optional[IKResult]] = [None] * t_count
+
+    for iteration in range(1, max_iterations + 1):
+        frames = chain.frames_batch(q[active])  # (A, dof + 1, 4, 4)
+        error_vec = tgts[active] - frames[:, -1, :3, 3]  # (A, 3)
+        err = np.linalg.norm(error_vec, axis=1)
+
+        improved = err < best_err[active]
+        rows = active[improved]
+        best_err[rows] = err[improved]
+        best_q[rows] = q[rows]
+
+        done = err < tolerance
+        for row, e in zip(active[done], err[done]):
+            results[row] = IKResult(
+                tuple(float(x) for x in q[row]),
+                float(e),
+                iteration,
+                converged=True,
+            )
+        if done.any():
+            active = active[~done]
+            if active.size == 0:
+                break
+            frames = frames[~done]
+            error_vec = error_vec[~done]
+
+        jac = _analytic_jacobian_from_frames(frames, chain.prismatic_mask)
+        if OBS.enabled:
+            _OBS_JACOBIANS.inc(float(len(active)), mode="analytic")
+        jjt = jac @ np.swapaxes(jac, 1, 2) + eye3  # (A, 3, 3)
+        y = np.linalg.solve(jjt, error_vec[..., None])  # (A, 3, 1)
+        dq = (np.swapaxes(jac, 1, 2) @ y)[..., 0]  # (A, dof)
+
+        step_norm = np.linalg.norm(dq, axis=1)
+        over = step_norm > _MAX_STEP
+        dq[over] *= (_MAX_STEP / step_norm[over])[:, None]
+        stepped = q[active] + dq
+        if limits_lo is not None:
+            np.clip(stepped, limits_lo, limits_hi, out=stepped)
+        q[active] = stepped
+
+    for row in active:
+        results[row] = IKResult(
+            tuple(float(x) for x in best_q[row]),
+            float(best_err[row]),
+            max_iterations,
+            converged=False,
+        )
+    return results  # type: ignore[return-value]

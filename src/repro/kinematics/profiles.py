@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Tuple
 
+import numpy as np
+
 from repro.kinematics.dh import DHChain, DHLink
 
 _PI = math.pi
@@ -79,6 +81,15 @@ class ArmProfile:
     def chain(self) -> DHChain:
         """A fresh kinematic chain for this profile (world-origin base)."""
         return DHChain(self.links)
+
+    def limit_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Joint limits as packed ``(dof,)`` lo/hi float arrays.
+
+        The clamping hot paths (IK steps, seed generation) clip against
+        these instead of iterating the tuple-of-tuples form.
+        """
+        limits = np.asarray(self.joint_limits, dtype=np.float64)
+        return limits[:, 0].copy(), limits[:, 1].copy()
 
 
 def _limits(lo_hi: float) -> Tuple[float, float]:

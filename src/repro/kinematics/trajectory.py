@@ -62,18 +62,33 @@ class JointTrajectory:
         return list(self.sample_array(resolution))
 
     def end_effector_path_array(self, resolution: int = 40) -> np.ndarray:
-        """Cartesian end-effector polyline as a packed ``(R + 1, 3)`` array."""
-        return np.array(
-            [self.chain.end_effector_position(q) for q in self.sample(resolution)],
-            dtype=np.float64,
-        )
+        """Cartesian end-effector polyline as a packed ``(R + 1, 3)`` array.
+
+        Runs the packed sample matrix through the batched FK kernel — no
+        per-sample Python loop.  Element ``[i]`` is the same float64
+        arithmetic as :meth:`end_effector_path`'s scalar FK call, so the
+        two stay exactly equal (the scalar path is the differential
+        reference).
+        """
+        return self.chain.end_effector_positions_batch(self.sample_array(resolution))
 
     def end_effector_path(self, resolution: int = 40) -> List[Vec3]:
-        """Cartesian polyline traced by the end effector."""
+        """Cartesian polyline traced by the end effector (scalar reference)."""
         return [self.chain.end_effector_position(q) for q in self.sample(resolution)]
 
+    def link_paths_array(self, resolution: int = 40) -> np.ndarray:
+        """Per-sample full-arm point sets as one ``(R + 1, dof + 1, 3)`` array.
+
+        Row ``[i]`` is the joint-origin polyline (base through end
+        effector) at polled instant *i* — exactly :meth:`link_paths`
+        element ``[i]`` packed into an array, produced by the batched FK
+        kernel in one pass.  This is the shape the Extended Simulator
+        feeds straight into the batch collision engine.
+        """
+        return self.chain.joint_positions_batch(self.sample_array(resolution))
+
     def link_paths(self, resolution: int = 40) -> List[List[Vec3]]:
-        """Per-sample full-arm point sets.
+        """Per-sample full-arm point sets (scalar reference).
 
         Each element is the list of joint-origin positions (base through end
         effector) at one polled instant; the simulator checks the segments

@@ -32,6 +32,16 @@ Two sweep implementations coexist:
 
 The two produce identical verdicts and identical messages; the
 differential test suite pins that equivalence.
+
+``sweep_links=True`` additionally sweeps the **whole arm body**: the
+planned joint-space trajectory is run through the batched FK kernel
+(:meth:`~repro.kinematics.trajectory.JointTrajectory.link_paths_array`),
+and every link segment of every polled posture is slab-tested against the
+obstacle cuboids (inflated by the arm's link radius) in one
+``(S x dof) x N`` pass — full-arm coverage at batched cost, catching
+elbow/forearm strikes the tool-point sweep cannot see.  It is **off by
+default** because it extends the paper's tool-point mechanism: enabling
+it can only add verdicts, never change existing ones.
 """
 
 from __future__ import annotations
@@ -82,18 +92,29 @@ class ExtendedSimulator:
     RESOLUTION = 30
 
     def __init__(
-        self, robots: Dict[str, RobotArmDevice], use_batch: bool = True
+        self,
+        robots: Dict[str, RobotArmDevice],
+        use_batch: bool = True,
+        sweep_links: bool = False,
     ) -> None:
         #: The real arm devices the simulator polls for current postures.
         self._robots = dict(robots)
         #: Whether to sweep with the vectorized engine (the fast path) or
         #: the scalar per-sample reference loop.
         self.use_batch = use_batch
+        #: Whether to additionally sweep every arm-link segment of the
+        #: planned joint-space motion (batched FK; strictly additive).
+        self.sweep_links = sweep_links
         #: Packed engines per (frame, excluded devices), rebuilt whenever
         #: the model's geometry revision moves.
         self._engine_cache: Dict[
             Tuple[str, Tuple[str, ...]],
             Tuple[BatchCollisionEngine, BatchCollisionEngine, int, int],
+        ] = {}
+        #: Link-radius-inflated obstacle engines for the full-arm sweep,
+        #: keyed by (frame, excluded devices, margin).
+        self._link_engine_cache: Dict[
+            Tuple[str, Tuple[str, ...], float], BatchCollisionEngine
         ] = {}
         self._engine_revision: Optional[int] = None
 
@@ -156,7 +177,10 @@ class ExtendedSimulator:
 
         sweep = self._sweep_batch if self.use_batch else self._sweep_scalar
         if not OBS.enabled:
-            return sweep(call, model, frame, exclude, robot_model, held, samples)
+            problem = sweep(call, model, frame, exclude, robot_model, held, samples)
+            if problem is None and self.sweep_links:
+                problem = self._sweep_arm_links(call, model, frame, exclude, robot, plan)
+            return problem
 
         path = "batch" if self.use_batch else "scalar"
         _OBS_CHECKS.inc(1, path=path)
@@ -167,6 +191,8 @@ class ExtendedSimulator:
             path=path, samples=len(samples),
         ) as span:
             problem = sweep(call, model, frame, exclude, robot_model, held, samples)
+            if problem is None and self.sweep_links:
+                problem = self._sweep_arm_links(call, model, frame, exclude, robot, plan)
             _OBS_VERDICTS.inc(1, verdict="collision" if problem else "clear")
             if span is not None:
                 span.set(verdict=problem or "clear")
@@ -249,6 +275,53 @@ class ExtendedSimulator:
             f"configured workspace"
         )
 
+    def _sweep_arm_links(
+        self,
+        call: ActionCall,
+        model: RabitLabModel,
+        frame: str,
+        exclude: List[str],
+        robot: RobotArmDevice,
+        plan: TrajectoryPlan,
+    ) -> Optional[str]:
+        """Full-arm link sweep over the planned joint-space motion.
+
+        Every polled posture's joint-origin polyline (one batched FK pass,
+        no per-sample loop) is swept segment-by-segment against the
+        link-radius-inflated obstacle engine.  Strictly additive: runs
+        only after the tool-point probes came back clear.
+        """
+        paths = plan.trajectory.link_paths_array(self.RESOLUTION)
+        engine = self._link_engine_for(model, frame, exclude, robot.profile.link_radius)
+        if len(engine) == 0:
+            return None
+        hits = engine.polylines_hit_indices(paths)
+        bad = hits >= 0
+        if not bad.any():
+            return None
+        first = int(np.argmax(bad))
+        return (
+            f"simulated trajectory of {call.robot!r}: arm link would "
+            f"collide with {engine.names[hits[first]]!r}"
+        )
+
+    def _link_engine_for(
+        self, model: RabitLabModel, frame: str, exclude: Sequence[str], margin: float
+    ) -> BatchCollisionEngine:
+        """Link-radius-inflated obstacle engine, cached like `_engines_for`."""
+        revision = model.geometry_revision
+        if revision != self._engine_revision:
+            self._engine_cache.clear()
+            self._link_engine_cache.clear()
+            self._engine_revision = revision
+        key = (frame, tuple(sorted(exclude)), float(margin))
+        engine = self._link_engine_cache.get(key)
+        if engine is None:
+            obstacles = model.obstacles_for_frame(frame, exclude=exclude)
+            engine = BatchCollisionEngine(obstacles, margin=float(margin))
+            self._link_engine_cache[key] = engine
+        return engine
+
     def _engines_for(
         self, model: RabitLabModel, frame: str, exclude: Sequence[str]
     ) -> Tuple[BatchCollisionEngine, BatchCollisionEngine]:
@@ -257,6 +330,7 @@ class ExtendedSimulator:
         revision = model.geometry_revision
         if revision != self._engine_revision:
             self._engine_cache.clear()
+            self._link_engine_cache.clear()
             self._engine_revision = revision
         key = (frame, tuple(sorted(exclude)))
         cached = self._engine_cache.get(key)

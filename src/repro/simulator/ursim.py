@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.geometry.vec import Vec3
 from repro.kinematics.arm import ArmKinematics, TrajectoryPlan, UnreachableTargetError
 from repro.kinematics.profiles import ArmProfile
@@ -48,6 +50,21 @@ class URSimArm:
             return None
         return plan
 
+    def simulate_array(self, plan: TrajectoryPlan, resolution: int = 30) -> np.ndarray:
+        """Polled per-sample arm polylines as one packed array.
+
+        Shape ``(resolution + 1, dof + 1, 3)``: element ``[i]`` is the
+        joint-origin polyline at polled instant *i*, produced by the batched
+        FK kernel in a single pass — the form the batch collision engine
+        sweeps directly.
+        """
+        return plan.trajectory.link_paths_array(resolution)
+
     def simulate(self, plan: TrajectoryPlan, resolution: int = 30) -> List[List[Vec3]]:
-        """Run the motion and return the polled per-sample arm polylines."""
-        return plan.trajectory.link_paths(resolution)
+        """Run the motion and return the polled per-sample arm polylines.
+
+        Unpacks :meth:`simulate_array`; row-for-row equal to the scalar
+        :meth:`~repro.kinematics.trajectory.JointTrajectory.link_paths`
+        reference (the differential suite pins the equality).
+        """
+        return [list(frame) for frame in self.simulate_array(plan, resolution)]

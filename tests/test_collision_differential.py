@@ -209,6 +209,41 @@ class TestFirstHitAgreement:
         assert engine.polyline_first_hit([[0.5, 0.5, 0.5]]) is None
 
 
+class TestStackedPolylineAgreement:
+    """polylines_hit_indices row s == polyline_first_hit(paths[s]).
+
+    This is the (S, P, 3) query the Extended Simulator's full-arm link
+    sweep feeds straight from the batched FK kernel."""
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    @pytest.mark.parametrize("margin", [0.0, 0.045])
+    def test_random_stacks(self, seed, margin):
+        rng = np.random.default_rng(seed)
+        cuboids, _ = random_scene(rng, 8)
+        engine = BatchCollisionEngine(cuboids, margin=margin)
+        paths = rng.uniform(-2.0, 2.0, (30, 5, 3))
+        hits = engine.polylines_hit_indices(paths)
+        assert hits.shape == (30,)
+        for s in range(30):
+            want = engine.polyline_first_hit(paths[s])
+            if want is None:
+                assert hits[s] == -1
+            else:
+                assert engine.names[hits[s]] == want.obstacle
+
+    def test_empty_cases(self):
+        engine = BatchCollisionEngine([Cuboid((0, 0, 0), (1, 1, 1))])
+        assert np.array_equal(
+            engine.polylines_hit_indices(np.zeros((3, 1, 3))), [-1, -1, -1]
+        )
+        empty = BatchCollisionEngine([])
+        assert np.array_equal(
+            empty.polylines_hit_indices(np.zeros((2, 4, 3))), [-1, -1]
+        )
+        with pytest.raises(ValueError, match=r"\(S, P, 3\)"):
+            engine.polylines_hit_indices(np.zeros((4, 3)))
+
+
 class TestIncrementalUpdates:
     """add/update/remove keep the packed arrays in lockstep with scalar."""
 

@@ -104,6 +104,40 @@ class TestIK:
         with pytest.raises(ValueError, match="3D point"):
             solve_position_ik(UR3E.chain(), [0.1, 0.2], q0=UR3E.home_q)
 
+    def test_rejects_unknown_jacobian_mode(self):
+        with pytest.raises(ValueError, match="jacobian mode"):
+            solve_position_ik(
+                UR3E.chain(), [0.3, 0.1, 0.3], q0=UR3E.home_q, jacobian="symbolic"
+            )
+
+    @pytest.mark.parametrize("converged_target", [True, False])
+    def test_result_q_holds_builtin_floats(self, converged_target):
+        # Regression: np.float64 scalars leaking into IKResult.q made
+        # report/JSONL serialization type-unstable.
+        target = [0.3, 0.1, 0.3] if converged_target else [0.0, 0.0, 5.0]
+        result = solve_position_ik(UR3E.chain(), target, q0=UR3E.home_q)
+        assert result.converged is converged_target
+        for value in result.q:
+            assert type(value) is float
+
+    def test_best_posture_is_feasible_when_limits_active(self):
+        # Regression: limits must be applied *before* a posture is recorded
+        # as best.  Seed the solve outside the limits, with the target at
+        # the seed's own FK position: the old code saw zero error at the
+        # raw seed and returned the infeasible posture as "converged"; the
+        # fixed code clamps first, so every returned posture is feasible.
+        chain = UR3E.chain()
+        limits = [(-0.3, 0.3)] * 6
+        seed = [1.5, -2.0, 1.8, -1.5, 2.0, 1.5]  # violates every limit
+        target = chain.end_effector_position(seed)
+        result = solve_position_ik(chain, target, q0=seed, joint_limits=limits)
+        for q, (lo, hi) in zip(result.q, limits):
+            assert lo - 1e-12 <= q <= hi + 1e-12
+        if result.converged:
+            # Feasible *and* on target is acceptable; infeasible is not.
+            reached = chain.end_effector_position(result.q)
+            assert np.linalg.norm(reached - target) < 1e-3
+
 
 class TestTrajectory:
     def test_sample_endpoints(self):

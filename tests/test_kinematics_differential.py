@@ -1,0 +1,202 @@
+"""Differential suite: batched kinematics kernel vs the scalar reference.
+
+The batched FK/Jacobian/IK paths are hot-path twins of the scalar
+textbook recurrences, exactly as the batch collision engine twins the
+scalar slab test.  This suite is the gate that makes the speedup safe:
+
+- batch FK and joint-position stacks agree with the scalar loop to
+  <= 1e-12 (in practice they are bit-identical — same float64 ops);
+- the analytic position Jacobian matches central differences to <= 1e-6
+  on every profile arm, prismatic joints included;
+- IK convergence verdicts are identical between the analytic and
+  numeric Jacobian modes, and between the batched multi-target solver
+  and the sequential scalar loop, on every profile arm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import rotation_z, translation
+from repro.kinematics.dh import DHChain, DHLink
+from repro.kinematics.ik import (
+    analytic_position_jacobian,
+    numeric_position_jacobian,
+    solve_position_ik,
+    solve_position_ik_batch,
+)
+from repro.kinematics.profiles import N9, NED2, UR3E, UR5E, VIPERX_300
+from repro.kinematics.trajectory import plan_joint_trajectory
+
+ALL_PROFILES = (UR3E, UR5E, VIPERX_300, NED2, N9)
+
+FK_ATOL = 1e-12
+JAC_ATOL = 1e-6
+
+
+def _postures(profile, count, seed):
+    rng = np.random.default_rng(seed)
+    lo, hi = profile.limit_arrays()
+    return rng.uniform(lo, hi, size=(count, profile.dof))
+
+
+def _targets(profile, count, seed):
+    """A mix of clearly reachable and clearly unreachable targets."""
+    rng = np.random.default_rng(seed)
+    r = profile.reach
+    tgts = rng.uniform(-0.5 * r, 0.5 * r, size=(count, 3))
+    tgts[:, 2] = np.abs(tgts[:, 2]) + 0.05
+    tgts[3 * count // 4:] *= 8.0  # far outside every arm's envelope
+    return tgts
+
+
+class TestBatchForwardKinematics:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_forward_batch_matches_scalar(self, profile):
+        chain = profile.chain()
+        Q = _postures(profile, 64, seed=11)
+        poses = chain.forward_batch(Q)
+        assert poses.shape == (64, 4, 4)
+        for q, pose in zip(Q, poses):
+            assert np.allclose(pose, chain.forward(q).matrix, atol=FK_ATOL, rtol=0.0)
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_joint_positions_batch_matches_scalar(self, profile):
+        chain = profile.chain()
+        Q = _postures(profile, 64, seed=13)
+        stacks = chain.joint_positions_batch(Q)
+        assert stacks.shape == (64, profile.dof + 1, 3)
+        for q, stack in zip(Q, stacks):
+            assert np.allclose(
+                stack, np.array(chain.joint_positions(q)), atol=FK_ATOL, rtol=0.0
+            )
+
+    def test_batch_respects_base_transform(self):
+        base = translation([0.4, -0.2, 0.1]) @ rotation_z(0.7)
+        chain = UR3E.chain().with_base(base)
+        Q = _postures(UR3E, 16, seed=17)
+        poses = chain.forward_batch(Q)
+        for q, pose in zip(Q, poses):
+            assert np.allclose(pose, chain.forward(q).matrix, atol=FK_ATOL, rtol=0.0)
+
+    def test_frames_batch_matches_scalar_frames(self):
+        chain = N9.chain()  # exercises the prismatic branch
+        Q = _postures(N9, 32, seed=19)
+        frames = chain.frames_batch(Q)
+        for q, stack in zip(Q, frames):
+            assert np.allclose(stack, chain.frames(q), atol=FK_ATOL, rtol=0.0)
+
+    def test_batch_rejects_bad_shapes(self):
+        chain = UR3E.chain()
+        with pytest.raises(ValueError, match="joint matrix"):
+            chain.forward_batch(np.zeros((4, 5)))
+        with pytest.raises(ValueError, match="joint matrix"):
+            chain.joint_positions_batch(np.zeros(6))
+
+
+class TestAnalyticJacobian:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_matches_central_differences(self, profile):
+        chain = profile.chain()
+        for q in _postures(profile, 24, seed=23):
+            analytic = analytic_position_jacobian(chain, q)
+            numeric = numeric_position_jacobian(chain, q)
+            assert np.allclose(analytic, numeric, atol=JAC_ATOL, rtol=0.0), (
+                f"{profile.name}: analytic/numeric Jacobian mismatch at {q}"
+            )
+
+    def test_matches_under_base_transform(self):
+        chain = NED2.chain().with_base(translation([0.2, 0.6, 0.0]) @ rotation_z(-1.1))
+        for q in _postures(NED2, 12, seed=29):
+            assert np.allclose(
+                analytic_position_jacobian(chain, q),
+                numeric_position_jacobian(chain, q),
+                atol=JAC_ATOL,
+                rtol=0.0,
+            )
+
+    def test_prismatic_column_is_axis(self):
+        # A lone prismatic link's Jacobian column is its (base-frame) z axis.
+        lift = DHChain([DHLink(a=0.0, alpha=0.0, d=0.1, prismatic=True)])
+        jac = analytic_position_jacobian(lift, np.array([0.07]))
+        assert np.allclose(jac[:, 0], [0.0, 0.0, 1.0], atol=FK_ATOL)
+
+
+class TestIKVerdictParity:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_analytic_and_numeric_modes_agree(self, profile):
+        chain = profile.chain()
+        for target in _targets(profile, 12, seed=31):
+            analytic = solve_position_ik(
+                chain, target, q0=profile.home_q,
+                joint_limits=profile.joint_limits, jacobian="analytic",
+            )
+            numeric = solve_position_ik(
+                chain, target, q0=profile.home_q,
+                joint_limits=profile.joint_limits, jacobian="numeric",
+            )
+            assert analytic.converged == numeric.converged, (
+                f"{profile.name}: verdict flipped for {target}"
+            )
+            if analytic.converged:
+                # Both solutions place the tool within tolerance.
+                for result in (analytic, numeric):
+                    reached = chain.end_effector_position(result.q)
+                    assert np.linalg.norm(reached - target) < 1e-4
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_batch_solver_matches_sequential(self, profile):
+        chain = profile.chain()
+        targets = _targets(profile, 16, seed=37)
+        batch = solve_position_ik_batch(
+            chain, targets, q0=profile.home_q, joint_limits=profile.joint_limits
+        )
+        assert len(batch) == len(targets)
+        for target, b in zip(targets, batch):
+            s = solve_position_ik(
+                chain, target, q0=profile.home_q, joint_limits=profile.joint_limits
+            )
+            assert b.converged == s.converged
+            assert b.iterations == s.iterations
+            if b.converged:
+                assert np.allclose(b.q, s.q, atol=1e-9, rtol=0.0)
+            else:
+                # Non-converged iterate paths at the workspace boundary can
+                # amplify last-ulp differences; the residual, not the
+                # posture, is the contract.
+                assert b.error == pytest.approx(s.error, abs=1e-5)
+
+    def test_batch_solver_broadcast_and_per_target_seeds(self):
+        chain = UR3E.chain()
+        targets = _targets(UR3E, 8, seed=41)
+        seeds = np.tile(np.asarray(UR3E.home_q), (8, 1))
+        shared = solve_position_ik_batch(chain, targets, q0=UR3E.home_q)
+        rowwise = solve_position_ik_batch(chain, targets, q0=seeds)
+        assert [r.converged for r in shared] == [r.converged for r in rowwise]
+        assert [r.q for r in shared] == [r.q for r in rowwise]
+
+    def test_batch_solver_empty_and_bad_shapes(self):
+        chain = UR3E.chain()
+        assert solve_position_ik_batch(chain, np.zeros((0, 3)), q0=UR3E.home_q) == []
+        with pytest.raises(ValueError, match=r"\(T, 3\)"):
+            solve_position_ik_batch(chain, np.zeros((3, 2)), q0=UR3E.home_q)
+        with pytest.raises(ValueError, match="q0 must be"):
+            solve_position_ik_batch(chain, np.zeros((3, 3)), q0=np.zeros((2, 6)))
+
+
+class TestTrajectoryArrays:
+    @pytest.mark.parametrize("profile", (UR3E, N9), ids=lambda p: p.name)
+    def test_link_paths_array_matches_scalar(self, profile):
+        traj = plan_joint_trajectory(profile.chain(), profile.home_q, profile.sleep_q)
+        packed = traj.link_paths_array(25)
+        scalar = traj.link_paths(25)
+        assert packed.shape == (26, profile.dof + 1, 3)
+        for row, frame in zip(packed, scalar):
+            assert np.allclose(row, np.array(frame), atol=FK_ATOL, rtol=0.0)
+
+    def test_end_effector_path_array_matches_scalar(self):
+        traj = plan_joint_trajectory(UR5E.chain(), UR5E.home_q, UR5E.sleep_q)
+        packed = traj.end_effector_path_array(30)
+        scalar = traj.end_effector_path(30)
+        assert packed.shape == (31, 3)
+        for row, point in zip(packed, scalar):
+            assert np.allclose(row, point, atol=FK_ATOL, rtol=0.0)

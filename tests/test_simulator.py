@@ -115,6 +115,90 @@ class TestExtendedSimulatorChecks:
         ) is None
 
 
+class TestArmLinkSweep:
+    """The batched full-arm link sweep (``sweep_links=True``): joint-space
+    polylines from the vectorized FK kernel, swept segment-by-segment
+    against the link-radius-inflated obstacle engine."""
+
+    def _setup(self, sweep_links):
+        deck = build_hein_deck()
+        rabit, _, _ = make_hein_rabit(deck)
+        checker = ExtendedSimulator({"ur3e": deck.ur3e}, sweep_links=sweep_links)
+        return deck, rabit, checker
+
+    def test_off_by_default_and_clear_move_stays_clear(self):
+        deck, rabit, checker = self._setup(sweep_links=True)
+        assert ExtendedSimulator({"ur3e": deck.ur3e}).sweep_links is False
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT, "ur3e", robot="ur3e", target=(0.3, -0.05, 0.28),
+            location="grid_a1_safe",
+        )
+        assert checker.validate_trajectory(
+            call, rabit.state, rabit.model, account_held_objects=True
+        ) is None
+
+    def test_catches_elbow_strike_the_tool_sweep_misses(self):
+        from repro.core.config import build_model
+        from repro.lab.hein import build_hein_deck as rebuild
+
+        deck, rabit, checker = self._setup(sweep_links=True)
+        robot = deck.ur3e
+        target = (0.3, -0.05, 0.28)
+        # Re-plan the exact motion the simulator will poll and pick a
+        # mid-motion *elbow* position well away from the straight
+        # end-effector line the tool-point sweep probes.
+        plan = robot.kinematics.plan_move(target)
+        paths = plan.trajectory.link_paths_array(ExtendedSimulator.RESOLUTION)
+        ee_start = np.asarray(robot.kinematics.current_position())
+        ee_end = paths[-1, -1]
+        steps = np.linspace(0.0, 1.0, ExtendedSimulator.RESOLUTION + 1)
+        ee_line = ee_start[None, :] + (ee_end - ee_start)[None, :] * steps[:, None]
+        best = None
+        for s in range(paths.shape[0]):
+            for j in range(2, paths.shape[1] - 1):  # elbow/wrist origins
+                p = paths[s, j]
+                clearance = np.min(np.linalg.norm(ee_line - p[None, :], axis=1))
+                if best is None or clearance > best[0]:
+                    best = (clearance, p)
+        clearance, elbow = best
+        assert clearance > 0.08, "scene unsuitable: elbow hugs the tool line"
+
+        config = rebuild().config
+        config["obstacles"].append({
+            "name": "overhead_duct",
+            "surface": False,
+            "frames": {"ur3e": {
+                "min": [float(x) - 0.02 for x in elbow],
+                "max": [float(x) + 0.02 for x in elbow],
+            }},
+        })
+        model = build_model(config)
+        call = ActionCall(ActionLabel.MOVE_ROBOT, "ur3e", robot="ur3e", target=target)
+
+        problem = checker.validate_trajectory(
+            call, rabit.state, model, account_held_objects=True
+        )
+        assert problem is not None and "arm link would collide" in problem
+        assert "overhead_duct" in problem
+
+        # The paper's tool-point mechanism (links off) misses the same strike.
+        tool_only = ExtendedSimulator({"ur3e": deck.ur3e})
+        assert tool_only.validate_trajectory(
+            call, rabit.state, model, account_held_objects=True
+        ) is None
+
+    def test_link_sweep_engine_cache_reuses_revision(self):
+        deck, rabit, checker = self._setup(sweep_links=True)
+        call = ActionCall(
+            ActionLabel.MOVE_ROBOT, "ur3e", robot="ur3e", target=(0.3, -0.05, 0.28),
+        )
+        for _ in range(2):
+            checker.validate_trajectory(
+                call, rabit.state, rabit.model, account_held_objects=True
+            )
+        assert len(checker._link_engine_cache) == 1
+
+
 class TestSilentSkipScenario:
     def test_es_catches_post_skip_collision(self):
         """Footnote 2 end-to-end: B' silently skipped, A->C sweeps into
