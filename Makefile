@@ -1,6 +1,6 @@
 # Convenience targets for the RABIT reproduction.
 
-.PHONY: install lint test bench fk-bench examples campaign latency metrics montecarlo check clean
+.PHONY: install lint test bench fk-bench examples campaign latency metrics montecarlo replay check clean
 
 install:
 	pip install -e .[dev]
@@ -43,13 +43,20 @@ metrics:
 montecarlo:
 	python -m repro montecarlo --samples 40 --workers 0
 
+# Replay the committed golden traces: any byte-level divergence in the
+# verdict/state-delta stream fails the target (and prints the first
+# diff).
+replay:
+	PYTHONPATH=src python -m repro replay --diff tests/fixtures/traces/*.trace.jsonl
+
 # The CI gate: full tier-1 suite, the scalar-vs-batch / parallel-vs-
-# sequential differential and cache-parity harnesses explicitly, and a
-# latency smoke run proving the §II-C virtual-clock figures still
-# reproduce.
+# sequential differential and cache-parity harnesses explicitly, the
+# golden-trace replay gate, and a latency smoke run proving the §II-C
+# virtual-clock figures still reproduce.
 check:
 	PYTHONPATH=src python -m pytest -x -q tests/
 	PYTHONPATH=src python -m pytest -q tests/test_collision_differential.py tests/test_kinematics_differential.py tests/test_stateful_no_false_positives.py tests/test_obs_differential.py tests/test_parallel_differential.py
+	$(MAKE) replay
 	PYTHONPATH=src python -m pytest -q benchmarks/test_collision_throughput.py benchmarks/test_fk_throughput.py benchmarks/test_latency_overhead.py benchmarks/test_obs_overhead.py benchmarks/test_montecarlo_throughput.py
 
 clean:

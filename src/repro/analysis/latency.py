@@ -51,6 +51,25 @@ class LatencyReport:
             return 0.0
         return 100.0 * self.rabit_seconds / self.experiment_seconds
 
+    def as_dict(self) -> dict:
+        """JSON-safe dict of every field plus the derived figures."""
+        return {
+            "configuration": self.configuration,
+            "commands": self.commands,
+            "experiment_seconds": self.experiment_seconds,
+            "rabit_seconds": self.rabit_seconds,
+            "total_seconds": self.total_seconds,
+            "overhead_per_command": self.overhead_per_command,
+            "overhead_percent": self.overhead_percent,
+        }
+
+    def canonical_bytes(self) -> bytes:
+        """Canonical serialization via the shared :mod:`repro.trace.canon`
+        witness — the recording-on/off differential test compares these."""
+        from repro.trace.canon import canonical_bytes
+
+        return canonical_bytes(self.as_dict())
+
 
 def _run_once(
     monitored: bool, use_es: bool, bypass_gui: bool = False

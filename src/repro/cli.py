@@ -16,7 +16,12 @@ Operational entry points a lab would actually use:
 - ``mine`` — generate a synthetic RAD corpus and mine candidate rules;
 - ``metrics`` — run a workload with the observability layer enabled and
   export the span trace (JSONL) plus the metrics dump (Prometheus text,
-  optionally a JSON snapshot).
+  optionally a JSON snapshot);
+- ``record`` — run a registered workload with the trace recorder on and
+  persist the schema-versioned run trace as JSONL;
+- ``replay`` — re-execute persisted traces and assert byte-identical
+  verdicts/state deltas (``--diff`` prints the first divergence; exit 1
+  on mismatch, 2 on a corrupt or unreadable trace).
 """
 
 from __future__ import annotations
@@ -79,7 +84,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     configs = args.configs.split(",") if args.configs else [
         "initial", "modified", "modified_es"
     ]
-    result = run_campaign(configs=configs, workers=args.workers)
+    result = run_campaign(
+        configs=configs,
+        workers=args.workers,
+        trace_dir=args.trace_dir or None,
+    )
     rows = []
     for config in configs:
         stats = campaign_stats(result, config)
@@ -107,7 +116,10 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
     from repro.faults.montecarlo import run_monte_carlo
 
     report = run_monte_carlo(
-        samples=args.samples, seed=args.seed, workers=args.workers
+        samples=args.samples,
+        seed=args.seed,
+        workers=args.workers,
+        trace_dir=args.trace_dir or None,
     )
     print(format_table(
         ["quantity", "value", "note"],
@@ -304,6 +316,82 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_params(pairs: Sequence[str]) -> dict:
+    """Parse repeated ``--param key=value`` workload parameters.
+
+    Values that parse as JSON keep their type (``seed=2024`` is an int);
+    anything else stays a string (``bug_id=H1``)."""
+    import json
+
+    params = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"error: --param expects key=value, got {pair!r}")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return params
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.trace import WORKLOADS, record_workload
+
+    if args.workload not in WORKLOADS:
+        print(
+            f"error: unknown workload {args.workload!r}; "
+            f"known: {', '.join(sorted(WORKLOADS))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        trace = record_workload(
+            args.workload, _parse_params(args.param), obs=args.obs
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    lines = trace.write_jsonl(args.out)
+    print(
+        f"recorded {trace.trace_id} (workload {args.workload}, "
+        f"{len(trace.events)} events, schema v{trace.schema_version}): "
+        f"wrote {lines} lines to {args.out}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.trace import RunTrace, TraceFormatError, UnknownSchemaVersionError
+    from repro.trace.replay import replay_trace
+
+    mismatches = 0
+    for path in args.traces:
+        try:
+            recorded = RunTrace.read_jsonl(path)
+        except (TraceFormatError, UnknownSchemaVersionError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc.strerror}", file=sys.stderr)
+            return 2
+        report = replay_trace(recorded)
+        status = "ok" if report.match else "MISMATCH"
+        print(
+            f"{path}: {status} ({recorded.trace_id}, "
+            f"workload {recorded.header['workload']}, "
+            f"{len(recorded.events)} events)"
+        )
+        if not report.match:
+            mismatches += 1
+            if args.diff:
+                print(report.diff_text())
+    if mismatches:
+        print(f"\n{mismatches} of {len(args.traces)} trace(s) diverged")
+        return 1
+    return 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     from repro.simulator.render import render_topdown
 
@@ -356,6 +444,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="process-pool workers; 0 means one per CPU (default: 1, sequential)",
     )
+    p.add_argument(
+        "--trace-dir", default="", dest="trace_dir",
+        help="dump a replayable run trace for every paper-mismatched outcome here",
+    )
     p.set_defaults(fn=_cmd_campaign)
 
     p = sub.add_parser(
@@ -371,6 +463,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--jsonl", default="",
         help="optional path for per-mutant outcomes as JSON lines",
+    )
+    p.add_argument(
+        "--trace-dir", default="", dest="trace_dir",
+        help="dump a replayable run trace for every misclassified mutant here",
     )
     p.set_defaults(fn=_cmd_montecarlo)
 
@@ -410,6 +506,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--top", type=int, default=8, help="span rows to print")
     p.set_defaults(fn=_cmd_metrics)
+
+    p = sub.add_parser(
+        "record",
+        help="run a workload with the trace recorder on; write the run trace",
+    )
+    p.add_argument(
+        "--workload", default="solubility",
+        help="registered workload name (e.g. solubility, testbed, multi_door, "
+             "mutant, bug)",
+    )
+    p.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="workload parameter (repeatable); e.g. --param seed=2024",
+    )
+    p.add_argument(
+        "--obs", action="store_true",
+        help="record with the observability layer enabled (span cross-links)",
+    )
+    p.add_argument(
+        "--out", default="run.trace.jsonl", help="trace output path (JSONL)"
+    )
+    p.set_defaults(fn=_cmd_record)
+
+    p = sub.add_parser(
+        "replay",
+        help="re-execute recorded traces; fail on any byte-level divergence",
+    )
+    p.add_argument("traces", nargs="+", help="trace files to replay")
+    p.add_argument(
+        "--diff", action="store_true",
+        help="print the first divergence field-by-field on mismatch",
+    )
+    p.set_defaults(fn=_cmd_replay)
 
     p = sub.add_parser("mine", help="generate traces and mine candidate rules")
     p.add_argument("--hein", type=int, default=5, help="Hein sessions to replay")

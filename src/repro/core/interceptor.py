@@ -39,6 +39,7 @@ from repro.devices.action_device import ActionDeviceBase, Decapper
 from repro.devices.locations import LocationKind
 from repro.devices.robot import RobotArmDevice
 from repro.obs import OBS
+from repro.trace.recorder import TRACE
 
 _OBS_COMMANDS = OBS.registry.counter(
     "rabit_commands_intercepted_total",
@@ -146,12 +147,17 @@ class DeviceProxy:
                 "experiment",
             )
             alert: Optional[Alert] = None
-            with OBS.span(
-                "intercept.command",
-                device=self._device.name,
-                method=attr,
-                label=call.label.value,
-            ):
+            span_attrs = {
+                "device": self._device.name,
+                "method": attr,
+                "label": call.label.value,
+            }
+            if TRACE.active:
+                # Cross-link: every span of a recorded run carries the
+                # trace id and the event seq the command will land at.
+                span_attrs["trace_id"] = TRACE.trace_id
+                span_attrs["trace_seq"] = TRACE.next_seq
+            with OBS.span("intercept.command", **span_attrs) as span:
                 try:
                     if self._rabit is None:
                         return attr_callable(*args, **kwargs)
@@ -171,17 +177,21 @@ class DeviceProxy:
                             1,
                             outcome=alert.kind.value if alert else "allowed",
                         )
-                    self._trace.append(
-                        CommandRecord(
-                            time=self._clock.now,
-                            device=self._device.name,
-                            method=attr,
-                            args=args,
-                            label=call.label,
-                            alert=alert,
-                            location=call.location,
-                        )
+                    record = CommandRecord(
+                        time=self._clock.now,
+                        device=self._device.name,
+                        method=attr,
+                        args=args,
+                        label=call.label,
+                        alert=alert,
+                        location=call.location,
                     )
+                    self._trace.append(record)
+                    if TRACE.active:
+                        TRACE.record_command(
+                            record,
+                            obs_span_id=span.span_id if span is not None else None,
+                        )
 
         return traced
 

@@ -41,6 +41,7 @@ from repro.core.rulecache import MISS, RuleVerdictCache
 from repro.core.state import LabState
 from repro.devices.base import Device
 from repro.obs import OBS
+from repro.trace.recorder import TRACE
 
 _OBS_ALERTS = OBS.registry.counter(
     "rabit_alerts_total",
@@ -263,6 +264,7 @@ class Rabit:
                 )
 
         # Line 11: expected state from postconditions.
+        previous_state = self.state if TRACE.active else None
         expected = self.transition_table.expected_state(
             self.state, call, self.model.transition_context()
         )
@@ -282,6 +284,11 @@ class Rabit:
         self.state = expected.merge_observed(observed)
         for observer in self.observers:
             observer(call)
+        if previous_state is not None and TRACE.active:
+            # Staged after the observers so multiplexing-driven state
+            # edits land in the same event as the command that caused
+            # them; consumed by the interceptor's record_command.
+            TRACE.stage_state(previous_state, self.state)
         if mismatches:
             var, key, want, got = mismatches[0]
             self._alert(
@@ -333,6 +340,8 @@ class Rabit:
             )
             cached = self.rule_cache.lookup(key)
             if cached is not MISS:
+                if TRACE.active:
+                    TRACE.stage_rule("hit", cached[0] if cached else None)
                 return cached
         ctx = CheckContext(
             state=self.state,
@@ -349,6 +358,11 @@ class Rabit:
             verdict = (rule.rule_id, message)
         if self.rule_cache is not None:
             self.rule_cache.store(key, verdict)
+        if TRACE.active:
+            TRACE.stage_rule(
+                "miss" if self.rule_cache is not None else "disabled",
+                verdict[0] if verdict else None,
+            )
         return verdict
 
     def _alert(self, alert: Alert) -> None:

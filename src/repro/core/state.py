@@ -126,6 +126,32 @@ class LabState:
         merged._fingerprint = None
         return merged
 
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Populated variables as plain nested dicts (JSON-safe when the
+        stored values are; the trace recorder canonicalizes this)."""
+        return {
+            var: dict(self._vars[var])
+            for var in sorted(self._vars)
+            if self._vars[var]
+        }
+
+    def delta_from(self, previous: "LabState") -> List[Tuple[str, str, Any]]:
+        """Entries that changed since *previous*, as sorted triples.
+
+        Returns ``(var, key, new_value)`` for every entry added or
+        changed, and ``(var, key, None)`` for the (in practice unused)
+        removal case — the state-delta stream a run trace records."""
+        changes: List[Tuple[str, str, Any]] = []
+        for var in sorted(ALL_VARS):
+            mine = self._vars[var]
+            theirs = previous._vars[var]
+            for key in sorted(set(mine) | set(theirs)):
+                if key not in mine:
+                    changes.append((var, key, None))
+                elif key not in theirs or mine[key] != theirs[key]:
+                    changes.append((var, key, mine[key]))
+        return changes
+
     # -- fingerprinting -----------------------------------------------------
 
     def fingerprint(self) -> Tuple:

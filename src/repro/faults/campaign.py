@@ -144,12 +144,12 @@ class CampaignResult:
 
     def canonical_bytes(self) -> bytes:
         """Canonical JSON serialization of every outcome field — the
-        differential harness's sequential-vs-sharded equality witness."""
-        import json
+        differential harness's sequential-vs-sharded equality witness.
+        Uses the shared :mod:`repro.trace.canon` serialization (sorted
+        keys, compact separators, ASCII, NaN rejected)."""
+        from repro.trace.canon import canonical_bytes
 
-        return json.dumps(
-            [o.as_dict() for o in self.outcomes], sort_keys=True
-        ).encode()
+        return canonical_bytes([o.as_dict() for o in self.outcomes])
 
 
 # ---------------------------------------------------------------------------
@@ -560,22 +560,32 @@ def run_campaign(
     configs: Sequence[str] = ("initial", "modified", "modified_es"),
     bugs: Sequence[InjectedBug] = CAMPAIGN_BUGS,
     workers: Optional[int] = 1,
+    trace_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Run every bug under every configuration.
 
     ``workers > 1`` shards the (config, bug) grid over a process pool
     (``None`` means one worker per CPU); every bug run is independent and
     deterministic, so the merged result is identical to the sequential
-    one in canonical configuration-major order."""
+    one in canonical configuration-major order.
+
+    With *trace_dir* set, every outcome that deviates from the paper's
+    reported detection auto-dumps a replayable run trace of the bug run
+    there (recorded parent-side; bug runs are deterministic functions of
+    ``(bug_id, config)``)."""
     from repro.parallel.engine import resolve_workers
 
     if resolve_workers(workers, len(configs) * len(bugs)) > 1:
         from repro.parallel.runners import run_campaign_sharded
 
-        return run_campaign_sharded(configs=configs, bugs=bugs, workers=workers)
+        result = run_campaign_sharded(configs=configs, bugs=bugs, workers=workers)
+    else:
+        result = CampaignResult()
+        for config in configs:
+            for bug in bugs:
+                result.outcomes.append(run_bug(bug, config))
+    if trace_dir is not None:
+        from repro.trace.workloads import dump_campaign_mismatch_traces
 
-    result = CampaignResult()
-    for config in configs:
-        for bug in bugs:
-            result.outcomes.append(run_bug(bug, config))
+        dump_campaign_mismatch_traces(result, trace_dir)
     return result

@@ -125,12 +125,12 @@ class MonteCarloReport:
         """Canonical JSON serialization of every outcome field.
 
         The differential harness's equality witness: two sweeps agree iff
-        these bytes agree, regardless of how either was executed."""
-        import json
+        these bytes agree, regardless of how either was executed.  Uses
+        the shared :mod:`repro.trace.canon` serialization (sorted keys,
+        compact separators, ASCII, NaN rejected)."""
+        from repro.trace.canon import canonical_bytes
 
-        return json.dumps(
-            [o.as_dict() for o in self.outcomes], sort_keys=True
-        ).encode()
+        return canonical_bytes([o.as_dict() for o in self.outcomes])
 
 
 def _rng_for_sample(base_seed: int, index: int) -> np.random.Generator:
@@ -208,6 +208,26 @@ def _run_mutant(mutation_factory, monitored: bool) -> Tuple[bool, Tuple[str, ...
     return stopped, damage
 
 
+def run_mutant_monitored(seed: int, index: int):
+    """Re-execute the *monitored* leg of mutant ``(seed, index)``.
+
+    A pure function of the pair (same contract as :func:`score_mutant`),
+    which is what lets a failed mutant's trace be recorded after the
+    fact — in the parent process, after a sharded sweep — and still be
+    byte-identical to what the worker saw.  Returns
+    ``(description, WorkflowResult)``."""
+    from repro.faults.mutation import apply_mutations
+    from repro.lab.workflows import run_workflow as _run
+
+    line_ids = reference_line_ids()
+    description, factory = _sample_mutation(_rng_for_sample(seed, index), line_ids)
+    deck = build_testbed_deck(noise_sigma=0.003)
+    rabit, proxies, _ = make_testbed_rabit(deck, options=RabitOptions.modified())
+    lines = build_testbed_workflow(proxies)
+    lines = apply_mutations(lines, deck.world, factory(proxies))
+    return description, _run(lines)
+
+
 def score_mutant(index: int, base_seed: int, line_ids: Sequence[str]) -> MutantOutcome:
     """Sample and score mutant *index* of the sweep seeded *base_seed*.
 
@@ -237,7 +257,10 @@ def score_mutant(index: int, base_seed: int, line_ids: Sequence[str]) -> MutantO
 
 
 def run_monte_carlo(
-    samples: int = 40, seed: int = 2024, workers: Optional[int] = 1
+    samples: int = 40,
+    seed: int = 2024,
+    workers: Optional[int] = 1,
+    trace_dir: Optional[str] = None,
 ) -> MonteCarloReport:
     """Sample *samples* mutants; score each against ground truth.
 
@@ -246,16 +269,26 @@ def run_monte_carlo(
     Deterministic under *seed* for every *workers* value: ``workers > 1``
     shards the sweep over a process pool (``None`` means one worker per
     CPU), and the merged report is identical to the sequential one.
+
+    With *trace_dir* set, every *failed* mutant — a false negative or a
+    false positive — auto-dumps a replayable run trace of its monitored
+    leg there (recorded parent-side after the sweep; mutant runs are
+    pure functions of ``(seed, index)``, so the re-recorded trace is
+    exactly what the sweep executed).
     """
     from repro.parallel.engine import resolve_workers
 
     if resolve_workers(workers, samples) > 1:
         from repro.parallel.runners import run_monte_carlo_sharded
 
-        return run_monte_carlo_sharded(samples=samples, seed=seed, workers=workers)
+        report = run_monte_carlo_sharded(samples=samples, seed=seed, workers=workers)
+    else:
+        line_ids = reference_line_ids()
+        report = MonteCarloReport()
+        for index in range(samples):
+            report.outcomes.append(score_mutant(index, seed, line_ids))
+    if trace_dir is not None:
+        from repro.trace.workloads import dump_failed_mutant_traces
 
-    line_ids = reference_line_ids()
-    report = MonteCarloReport()
-    for index in range(samples):
-        report.outcomes.append(score_mutant(index, seed, line_ids))
+        dump_failed_mutant_traces(report, seed, trace_dir)
     return report

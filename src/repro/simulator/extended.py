@@ -58,6 +58,7 @@ from repro.geometry.batch import BatchCollisionEngine
 from repro.geometry.shapes import Cuboid
 from repro.kinematics.arm import TrajectoryPlan, UnreachableTargetError
 from repro.obs import OBS
+from repro.trace.recorder import TRACE
 
 _OBS_CHECKS = OBS.registry.counter(
     "es_trajectory_checks_total",
@@ -180,6 +181,12 @@ class ExtendedSimulator:
             problem = sweep(call, model, frame, exclude, robot_model, held, samples)
             if problem is None and self.sweep_links:
                 problem = self._sweep_arm_links(call, model, frame, exclude, robot, plan)
+            if TRACE.active:
+                TRACE.stage_trajectory(
+                    path="batch" if self.use_batch else "scalar",
+                    samples=len(samples),
+                    verdict=problem,
+                )
             return problem
 
         path = "batch" if self.use_batch else "scalar"
@@ -196,6 +203,8 @@ class ExtendedSimulator:
             _OBS_VERDICTS.inc(1, verdict="collision" if problem else "clear")
             if span is not None:
                 span.set(verdict=problem or "clear")
+        if TRACE.active:
+            TRACE.stage_trajectory(path=path, samples=len(samples), verdict=problem)
         return problem
 
     # ------------------------------------------------------------------

@@ -1,0 +1,49 @@
+"""Deterministic run traces: record, persist, replay, compare.
+
+``repro.trace`` turns every guarded run into a canonical,
+schema-versioned event stream — commands with arguments, rule verdicts
+(including which rule fired and whether the verdict came from the
+cache), trajectory-sweep outcomes, state deltas, virtual-clock
+timestamps, and observability span ids — and replays any persisted
+trace by re-executing the same workload under the virtual clock,
+asserting byte-identical agreement via the shared canonical-JSON
+witness in :mod:`repro.trace.canon`.
+
+Entry points:
+
+- :data:`~repro.trace.recorder.TRACE` — the process-wide recorder the
+  interceptor/monitor/simulator consult (default off, like ``OBS``);
+- :func:`~repro.trace.workloads.record_workload` — run a registered
+  workload with recording on and return its :class:`RunTrace`;
+- :func:`~repro.trace.replay.replay_trace` — re-execute a trace and
+  report the first divergence, if any;
+- ``python -m repro record`` / ``python -m repro replay`` — the CLI.
+"""
+
+from repro.trace.canon import canonical_bytes, canonical_json, content_digest
+from repro.trace.recorder import TRACE, RunTrace, TraceFormatError
+from repro.trace.replay import ReplayReport, replay_trace
+from repro.trace.schema import (
+    SCHEMA_VERSION,
+    TraceSchemaError,
+    UnknownSchemaVersionError,
+    upgrade_trace,
+)
+from repro.trace.workloads import WORKLOADS, record_workload
+
+__all__ = [
+    "TRACE",
+    "WORKLOADS",
+    "ReplayReport",
+    "RunTrace",
+    "SCHEMA_VERSION",
+    "TraceFormatError",
+    "TraceSchemaError",
+    "UnknownSchemaVersionError",
+    "canonical_bytes",
+    "canonical_json",
+    "content_digest",
+    "record_workload",
+    "replay_trace",
+    "upgrade_trace",
+]

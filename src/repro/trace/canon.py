@@ -1,0 +1,67 @@
+"""Canonical JSON — the one serialization every differential witness uses.
+
+Three subsystems already relied on "``json.dumps(..., sort_keys=True)``
+then compare bytes" as their equality witness: the Monte Carlo sweep
+(:meth:`MonteCarloReport.canonical_bytes`), the campaign runner
+(:meth:`CampaignResult.canonical_bytes`), and the JSONL exports of the
+CLI.  Each spelled the call out locally, which left the witness's
+stability properties implicit.  This module pins them explicitly:
+
+- **Key order** — objects are serialized with ``sort_keys=True``, so two
+  dicts with equal contents produce equal bytes regardless of insertion
+  order (Python dicts are insertion-ordered; canonical form must not be).
+- **Float format** — floats render via CPython's shortest-roundtrip
+  ``repr`` (stable since 3.1 across versions and platforms); non-finite
+  floats are **rejected** (``allow_nan=False``) because ``NaN`` both
+  breaks JSON interchange and compares unequal to itself, which would
+  make a "byte-identical" witness vacuous.
+- **Separators** — the compact ``(",", ":")`` pair, so whitespace policy
+  can never differ between writers.
+- **Encoding** — ``ensure_ascii=True``: every byte of output is ASCII,
+  sidestepping platform encoding defaults entirely.
+- **Types** — tuples serialize as arrays; any other non-JSON type raises
+  ``TypeError`` rather than being silently coerced.  Callers coerce
+  domain objects *before* canonicalization so the coercion is visible.
+
+The cross-version stability test (``tests/test_trace_canon.py``) pins
+exact output bytes for the tricky cases (shortest-repr floats, negative
+zero, large exponents, unicode escapes) on every CI Python version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_json", "canonical_bytes", "content_digest"]
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON text of *value* (sorted keys, compact, ASCII).
+
+    Raises ``ValueError`` on non-finite floats and ``TypeError`` on
+    values JSON cannot represent — a canonical form must never guess.
+    """
+    return json.dumps(
+        value,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Canonical JSON of *value*, encoded — the byte-equality witness."""
+    return canonical_json(value).encode("ascii")
+
+
+def content_digest(value: Any, length: int = 16) -> str:
+    """A short hex digest of *value*'s canonical form.
+
+    Used for state fingerprints in trace events and for deterministic
+    trace ids: equal content always yields an equal digest, and no wall
+    clock or randomness is involved anywhere.
+    """
+    return hashlib.sha256(canonical_bytes(value)).hexdigest()[:length]

@@ -1,0 +1,140 @@
+"""Replay: re-execute a recorded trace and assert byte identity.
+
+Replay does not interpret events — it re-runs the *workload* the trace
+header names (every registered workload is a deterministic function of
+its parameters under the virtual clock), records the fresh run, and
+compares the two canonical byte streams.  Agreement means every
+command, rule verdict, cache disposition, trajectory sweep, state
+delta, timestamp, and span id came out identical; any regression in the
+pipeline shows up as a first divergence with a field-level diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.trace.canon import canonical_json
+from repro.trace.recorder import RunTrace
+from repro.trace.workloads import record_workload
+
+__all__ = ["Divergence", "ReplayReport", "replay_trace", "find_divergence"]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where a replayed run left the recorded trace."""
+
+    #: ``"header"``, ``"event"``, ``"event_count"``, or ``"footer"``.
+    kind: str
+    #: Event sequence number for ``kind == "event"``; ``None`` otherwise.
+    seq: Optional[int]
+    #: Field-level mismatches: (field, recorded canonical, replayed canonical).
+    fields: Tuple[Tuple[str, str, str], ...]
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying one trace."""
+
+    match: bool
+    recorded: RunTrace
+    replayed: RunTrace
+    divergence: Optional[Divergence] = None
+
+    def diff_text(self) -> str:
+        """Human-readable first-divergence report (``--diff`` output)."""
+        if self.match:
+            return "traces are byte-identical"
+        div = self.divergence
+        assert div is not None
+        header = self.recorded.header
+        lines = [
+            f"trace {header.get('trace_id')} "
+            f"(workload={header.get('workload')!r}, "
+            f"params={canonical_json(header.get('params', {}))})",
+        ]
+        if div.kind == "event":
+            recorded_event = (
+                self.recorded.events[div.seq]
+                if div.seq is not None and div.seq < len(self.recorded.events)
+                else {}
+            )
+            lines.append(
+                f"first divergence at event {div.seq} "
+                f"(t={recorded_event.get('t')}, "
+                f"{recorded_event.get('device')}.{recorded_event.get('method')}):"
+            )
+        elif div.kind == "event_count":
+            lines.append("event streams have different lengths:")
+        else:
+            lines.append(f"first divergence in the {div.kind}:")
+        for field, recorded, replayed in div.fields:
+            lines.append(f"  {field}:")
+            lines.append(f"    recorded: {recorded}")
+            lines.append(f"    replayed: {replayed}")
+        return "\n".join(lines)
+
+
+def _diff_fields(
+    recorded: Dict[str, Any], replayed: Dict[str, Any]
+) -> Tuple[Tuple[str, str, str], ...]:
+    """Per-field canonical mismatches between two records."""
+    fields: List[Tuple[str, str, str]] = []
+    for key in sorted(set(recorded) | set(replayed)):
+        mine = canonical_json(recorded.get(key)) if key in recorded else "<absent>"
+        theirs = canonical_json(replayed.get(key)) if key in replayed else "<absent>"
+        if mine != theirs:
+            fields.append((key, mine, theirs))
+    return tuple(fields)
+
+
+def find_divergence(recorded: RunTrace, replayed: RunTrace) -> Optional[Divergence]:
+    """Locate the first divergence between two traces, or ``None``.
+
+    Checked in stream order — header, events pairwise, event count,
+    footer — so the reported point is the earliest place a reader of
+    the two files would see them disagree."""
+    fields = _diff_fields(recorded.header, replayed.header)
+    if fields:
+        return Divergence(kind="header", seq=None, fields=fields)
+    for seq, (mine, theirs) in enumerate(zip(recorded.events, replayed.events)):
+        fields = _diff_fields(mine, theirs)
+        if fields:
+            return Divergence(kind="event", seq=seq, fields=fields)
+    if len(recorded.events) != len(replayed.events):
+        return Divergence(
+            kind="event_count",
+            seq=min(len(recorded.events), len(replayed.events)),
+            fields=(
+                (
+                    "events",
+                    str(len(recorded.events)),
+                    str(len(replayed.events)),
+                ),
+            ),
+        )
+    fields = _diff_fields(recorded.footer, replayed.footer)
+    if fields:
+        return Divergence(kind="footer", seq=None, fields=fields)
+    return None
+
+
+def replay_trace(recorded: RunTrace) -> ReplayReport:
+    """Re-execute *recorded*'s workload and compare byte streams.
+
+    The comparison witness is :meth:`RunTrace.canonical_bytes` equality;
+    on mismatch the report carries the first divergence for
+    :meth:`ReplayReport.diff_text`."""
+    header = recorded.header
+    replayed = record_workload(
+        header["workload"], header.get("params") or {}, obs=bool(header.get("obs"))
+    )
+    if recorded.canonical_bytes() == replayed.canonical_bytes():
+        return ReplayReport(match=True, recorded=recorded, replayed=replayed)
+    return ReplayReport(
+        match=False,
+        recorded=recorded,
+        replayed=replayed,
+        divergence=find_divergence(recorded, replayed),
+    )

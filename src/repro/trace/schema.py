@@ -1,0 +1,94 @@
+"""Trace schema versioning and the explicit upgrade hook.
+
+Every persisted trace leads with a header carrying ``schema_version``.
+Readers accept the current version directly; *older* versions are
+migrated forward through an explicit chain of upgrade functions — one
+per historical version, each lossless, applied in sequence until the
+trace reaches :data:`SCHEMA_VERSION`.  Anything newer than the current
+version (or older than the oldest known) is rejected with
+:class:`UnknownSchemaVersionError` rather than guessed at: a replay
+gate that silently misreads a trace is worse than one that refuses.
+
+Version history:
+
+- **1** — initial format: command events carried their virtual-clock
+  timestamp under ``"time"`` and state deltas as ``{"var", "key",
+  "value"}`` objects.
+- **2** (current) — timestamps renamed to ``"t"``; state-delta entries
+  compacted to ``[var, key, value]`` triples (the form
+  ``LabState.delta_from`` emits); both changes are lossless, so a v1
+  trace upgraded to v2 replays byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TraceSchemaError",
+    "UnknownSchemaVersionError",
+    "upgrade_trace",
+]
+
+#: The schema version this build writes.
+SCHEMA_VERSION = 2
+
+
+class TraceSchemaError(Exception):
+    """A trace's structure violates its declared schema."""
+
+
+class UnknownSchemaVersionError(TraceSchemaError):
+    """The trace declares a schema version this build cannot read."""
+
+
+def _upgrade_v1(header: dict, events: List[dict]) -> Tuple[dict, List[dict]]:
+    """v1 -> v2: rename ``time`` to ``t``; compact state-delta entries."""
+    upgraded: List[dict] = []
+    for event in events:
+        event = dict(event)
+        if "time" in event:
+            event["t"] = event.pop("time")
+        delta = event.get("state_delta")
+        if delta is not None:
+            event["state_delta"] = [
+                [entry["var"], entry["key"], entry["value"]]
+                if isinstance(entry, dict)
+                else list(entry)
+                for entry in delta
+            ]
+        upgraded.append(event)
+    header = dict(header)
+    header["schema_version"] = 2
+    return header, upgraded
+
+
+#: version -> function lifting a trace *from* that version to the next.
+_UPGRADES: Dict[int, Callable[[dict, List[dict]], Tuple[dict, List[dict]]]] = {
+    1: _upgrade_v1,
+}
+
+
+def upgrade_trace(header: dict, events: List[dict]) -> Tuple[dict, List[dict]]:
+    """Migrate *(header, events)* to :data:`SCHEMA_VERSION`.
+
+    Current-version traces pass through untouched.  Raises
+    :class:`UnknownSchemaVersionError` for versions this build has no
+    migration path for (missing, newer than current, or pre-history).
+    """
+    version = header.get("schema_version")
+    if not isinstance(version, int):
+        raise UnknownSchemaVersionError(
+            f"trace header carries no integer schema_version (got {version!r})"
+        )
+    while version != SCHEMA_VERSION:
+        upgrade = _UPGRADES.get(version)
+        if upgrade is None:
+            raise UnknownSchemaVersionError(
+                f"unsupported trace schema_version {version}; this build "
+                f"reads versions {sorted(_UPGRADES)} + [{SCHEMA_VERSION}]"
+            )
+        header, events = upgrade(header, events)
+        version = header["schema_version"]
+    return header, events

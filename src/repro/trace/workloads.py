@@ -1,0 +1,238 @@
+"""The recordable workload registry and the record entry point.
+
+A *workload* is a named, parameterized, fully deterministic run of the
+guarded-execution pipeline: given the same name and parameters it
+executes the identical command sequence under the virtual clock.  That
+determinism is the whole replay story — a persisted trace names its
+workload in the header, and replay simply records the workload again
+and compares canonical bytes.
+
+Registered workloads:
+
+- ``solubility`` — the Fig. 1(b) production run on the Hein deck under
+  modified RABIT + headless Extended Simulator;
+- ``testbed`` — the safe Fig. 5 two-arm workflow;
+- ``centrifuge`` — the testbed centrifugation leg (prepared vial);
+- ``multi_door`` — the §V-C two-door simultaneous-access scenario;
+- ``mutant`` — the monitored leg of Monte Carlo mutant
+  ``(params: seed, index)``, a pure function of the pair;
+- ``bug`` — one campaign bug under one configuration
+  (``params: bug_id, config``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.trace.recorder import TRACE, RunTrace
+
+WorkloadFn = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+#: name -> function(params) -> JSON-safe outcome dict (the trace footer).
+WORKLOADS: Dict[str, WorkloadFn] = {}
+
+
+def _workload(name: str) -> Callable[[WorkloadFn], WorkloadFn]:
+    def register(fn: WorkloadFn) -> WorkloadFn:
+        WORKLOADS[name] = fn
+        return fn
+
+    return register
+
+
+def _bind_obs(rabit: Any) -> None:
+    """Stamp spans with the run's virtual clock when observability is on
+    (the recorded ``obs_span_id`` cross-links depend on span ids, which
+    are deterministic because :func:`record_workload` resets OBS)."""
+    from repro.obs import OBS
+
+    if OBS.enabled:
+        OBS.bind_clock(rabit.clock)
+
+
+def _result_outcome(result: Any, commands: int) -> Dict[str, Any]:
+    """The footer outcome shared by every workflow-shaped workload."""
+    return {
+        "completed": result.completed,
+        "commands": commands,
+        "alert": str(result.alert) if result.alert else None,
+        "device_error": result.device_error,
+    }
+
+
+@_workload("solubility")
+def _run_solubility(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.core.clock import VirtualClock
+    from repro.core.monitor import RabitOptions
+    from repro.lab.hein import build_hein_deck, make_hein_rabit
+    from repro.lab.workflows import build_solubility_workflow, run_workflow
+
+    deck = build_hein_deck()
+    options = RabitOptions.modified(use_extended_simulator=True, bypass_gui=True)
+    rabit, proxies, trace = make_hein_rabit(
+        deck, options=options, use_extended_simulator=True, clock=VirtualClock()
+    )
+    _bind_obs(rabit)
+    result = run_workflow(build_solubility_workflow(proxies))
+    return _result_outcome(result, len(trace))
+
+
+@_workload("testbed")
+def _run_testbed(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.core.monitor import RabitOptions
+    from repro.lab.workflows import build_testbed_workflow, run_workflow
+    from repro.testbed.deck import build_testbed_deck, make_testbed_rabit
+
+    deck = build_testbed_deck(noise_sigma=0.003)
+    rabit, proxies, trace = make_testbed_rabit(deck, options=RabitOptions.modified())
+    _bind_obs(rabit)
+    result = run_workflow(build_testbed_workflow(proxies))
+    return _result_outcome(result, len(trace))
+
+
+@_workload("centrifuge")
+def _run_centrifuge(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.core.monitor import RabitOptions
+    from repro.lab.workflows import build_centrifuge_workflow, run_workflow
+    from repro.testbed.deck import build_testbed_deck, make_testbed_rabit
+
+    deck = build_testbed_deck(noise_sigma=0.003)
+    vial = deck.vials["vial_t1"]
+    vial.decap_vial()
+    vial.contents.solid_mg = 5.0
+    vial.contents.liquid_ml = 5.0
+    rabit, proxies, trace = make_testbed_rabit(deck, options=RabitOptions.modified())
+    _bind_obs(rabit)
+    result = run_workflow(build_centrifuge_workflow(proxies))
+    return _result_outcome(result, len(trace))
+
+
+@_workload("multi_door")
+def _run_multi_door(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.lab.two_door import (
+        build_two_door_deck,
+        build_two_door_workflow,
+        make_two_door_rabit,
+    )
+    from repro.lab.workflows import run_workflow
+
+    deck = build_two_door_deck()
+    rabit, proxies, trace = make_two_door_rabit(deck)
+    _bind_obs(rabit)
+    result = run_workflow(build_two_door_workflow(proxies))
+    return _result_outcome(result, len(trace))
+
+
+@_workload("mutant")
+def _run_mutant(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.faults.montecarlo import run_mutant_monitored
+
+    seed, index = int(params["seed"]), int(params["index"])
+    description, result = run_mutant_monitored(seed, index)
+    outcome = _result_outcome(result, len(result.executed_lines))
+    outcome["description"] = description
+    outcome["detected"] = result.stopped_by_rabit
+    return outcome
+
+
+@_workload("bug")
+def _run_bug(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.faults.campaign import CAMPAIGN_BUGS, run_bug
+
+    bug_id, config = str(params["bug_id"]), str(params["config"])
+    by_id = {bug.bug_id: bug for bug in CAMPAIGN_BUGS}
+    try:
+        bug = by_id[bug_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown bug id {bug_id!r}; known: {sorted(by_id)}"
+        ) from None
+    outcome = run_bug(bug, config)
+    return {
+        "bug_id": bug_id,
+        "config": config,
+        "detected": outcome.detected,
+        "alert": outcome.alert,
+        "device_error": outcome.device_error,
+        "completed": outcome.completed,
+        "matches_paper": outcome.matches_paper,
+    }
+
+
+def record_workload(
+    name: str, params: Optional[Dict[str, Any]] = None, obs: bool = False
+) -> RunTrace:
+    """Run registered workload *name* with recording on; returns its trace.
+
+    With ``obs=True`` the observability layer is reset and enabled for
+    the duration of the run, so recorded events carry deterministic span
+    ids and the spans carry the trace id — the cross-link is stable
+    because span numbering restarts from 1 on every recorded run."""
+    try:
+        fn = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+    params = dict(params or {})
+    from repro.obs import OBS
+
+    if obs:
+        OBS.reset()
+        OBS.enable()
+    TRACE.begin(name, params, obs=obs)
+    try:
+        outcome = fn(params)
+    except BaseException:
+        TRACE.abort()
+        raise
+    finally:
+        if obs:
+            OBS.disable()
+    return TRACE.end(outcome)
+
+
+# ---------------------------------------------------------------------------
+# Auto-dump hooks for the fault-injection engines
+# ---------------------------------------------------------------------------
+
+
+def dump_failed_mutant_traces(report: Any, seed: int, trace_dir: str) -> List[Path]:
+    """Record and persist a trace for every failed Monte Carlo mutant.
+
+    *Failed* means misclassified — a false negative (harm RABIT missed)
+    or a false positive (a benign mutant it flagged).  Each failure's
+    monitored leg is re-recorded in this process (pure in ``(seed,
+    index)``, so identical to what the sweep ran, sharded or not) and
+    written to ``mutant-s<seed>-i<index>.trace.jsonl``."""
+    directory = Path(trace_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for outcome in report.outcomes:
+        if outcome.classification not in ("false_negative", "false_positive"):
+            continue
+        if "harness_error" in outcome.damage_kinds:
+            continue  # the run itself crashed; there is nothing to replay
+        trace = record_workload("mutant", {"seed": seed, "index": outcome.seed})
+        path = directory / f"mutant-s{seed}-i{outcome.seed}.trace.jsonl"
+        trace.write_jsonl(path)
+        written.append(path)
+    return written
+
+
+def dump_campaign_mismatch_traces(result: Any, trace_dir: str) -> List[Path]:
+    """Record and persist a trace for every campaign outcome that
+    deviates from the paper's reported detection; files are named
+    ``bug-<bug_id>-<config>.trace.jsonl``."""
+    directory = Path(trace_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for outcome in result.mismatches():
+        trace = record_workload(
+            "bug", {"bug_id": outcome.bug.bug_id, "config": outcome.config}
+        )
+        path = directory / f"bug-{outcome.bug.bug_id}-{outcome.config}.trace.jsonl"
+        trace.write_jsonl(path)
+        written.append(path)
+    return written

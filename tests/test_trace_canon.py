@@ -1,0 +1,88 @@
+"""The shared canonical-JSON witness: exact bytes, pinned.
+
+``repro.trace.canon`` is the single serialization every equality witness
+in the repo rides on — run traces, the sharded-vs-sequential
+differential reports, and the latency report.  Its output must be
+stable across CPython versions and platforms, so this suite pins exact
+bytes: dict ordering (insertion order must not leak), float formatting
+(shortest-roundtrip ``repr``, stable since CPython 3.1), ASCII escaping,
+and NaN/Infinity rejection.  The aggregate ``canonical_bytes``
+implementations are checked to actually route through the shared
+helper's format (compact separators, sorted keys).
+"""
+
+import math
+
+import pytest
+
+from repro.trace.canon import canonical_bytes, canonical_json, content_digest
+
+
+def test_dict_ordering_does_not_leak_into_bytes():
+    a = {"b": 1, "a": {"y": 2, "x": 3}}
+    b = {"a": {"x": 3, "y": 2}, "b": 1}
+    assert canonical_bytes(a) == canonical_bytes(b)
+    assert canonical_bytes(a) == b'{"a":{"x":3,"y":2},"b":1}'
+
+
+def test_exact_bytes_are_pinned_cross_version():
+    """The full format in one witness value: sorted keys, compact
+    separators, ASCII escapes, shortest-roundtrip floats."""
+    value = {
+        "z": [1, 2.5, True, None],
+        "a": 0.1,
+        "third": 1e16,
+        "neg": -0.0,
+        "unicode": "vial µL",
+        "small": 5e-324,
+    }
+    assert canonical_json(value) == (
+        '{"a":0.1,"neg":-0.0,"small":5e-324,"third":1e+16,'
+        '"unicode":"vial \\u00b5L","z":[1,2.5,true,null]}'
+    )
+    assert content_digest(value) == content_digest(dict(reversed(list(value.items()))))
+
+
+def test_float_repr_round_trips():
+    for value in (0.1, 1.5319999999999996, 2 / 3, 1e-9, 123456.789):
+        import json
+
+        assert json.loads(canonical_json(value)) == value
+
+
+def test_non_finite_floats_are_rejected():
+    for bad in (math.nan, math.inf, -math.inf):
+        with pytest.raises(ValueError):
+            canonical_json({"value": bad})
+
+
+def test_content_digest_is_pinned():
+    assert content_digest({"workload": "solubility"}) == content_digest(
+        {"workload": "solubility"}
+    )
+    assert content_digest({}) == "44136fa355b3678a"  # sha256 of b"{}"
+    assert len(content_digest({}, length=8)) == 8
+
+
+def test_report_witnesses_use_the_shared_format():
+    """MonteCarloReport / CampaignResult / LatencyReport canonical bytes
+    are compact-separator, sorted-key canon output, not legacy
+    ``json.dumps`` defaults (which padded separators)."""
+    from repro.analysis.latency import LatencyReport
+    from repro.faults.campaign import CampaignResult
+    from repro.faults.montecarlo import MonteCarloReport, MutantOutcome
+
+    latency = LatencyReport(
+        configuration="rabit", commands=10, experiment_seconds=2.0, rabit_seconds=0.3
+    )
+    assert latency.canonical_bytes() == canonical_bytes(latency.as_dict())
+    assert b": " not in latency.canonical_bytes()
+
+    outcome = MutantOutcome(
+        seed=0, description="delete x", harmful=True, detected=True,
+        damage_kinds=("collision",),
+    )
+    report = MonteCarloReport(outcomes=[outcome])
+    assert report.canonical_bytes() == canonical_bytes([outcome.as_dict()])
+
+    assert CampaignResult().canonical_bytes() == b"[]"
