@@ -49,15 +49,13 @@ montecarlo:
 replay:
 	PYTHONPATH=src python -m repro replay --diff tests/fixtures/traces/*.trace.jsonl
 
-# The CI gate: full tier-1 suite, the scalar-vs-batch / parallel-vs-
-# sequential differential and cache-parity harnesses explicitly, the
-# golden-trace replay gate, and a latency smoke run proving the §II-C
-# virtual-clock figures still reproduce.
+# The CI gate: the exact sequence GitHub Actions runs, via the shared
+# script (tier-1 suite, differential harnesses, golden-trace replay,
+# benchmark gates, and the perf-trend regression check).  Local runs
+# include the 4-worker parallel differential; 2-core CI runners leave
+# CI_GATES_FULL unset and skip it (the nightly tier covers it).
 check:
-	PYTHONPATH=src python -m pytest -x -q tests/
-	PYTHONPATH=src python -m pytest -q tests/test_collision_differential.py tests/test_kinematics_differential.py tests/test_stateful_no_false_positives.py tests/test_obs_differential.py tests/test_parallel_differential.py
-	$(MAKE) replay
-	PYTHONPATH=src python -m pytest -q benchmarks/test_collision_throughput.py benchmarks/test_fk_throughput.py benchmarks/test_latency_overhead.py benchmarks/test_obs_overhead.py benchmarks/test_montecarlo_throughput.py
+	CI_GATES_FULL=1 bash scripts/ci_gates.sh
 
 clean:
 	rm -rf .pytest_cache benchmarks/results __pycache__

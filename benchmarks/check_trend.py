@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Gate the perf trend log against a committed baseline.
+
+``benchmarks/results/trend.jsonl`` accumulates one JSON line per metric
+per benchmark run (see ``benchmarks/conftest.py``); this script compares
+the **latest** record of each gated metric against
+``benchmarks/trend_baseline.json`` and exits nonzero on a regression —
+so a PR that quietly halves the collision-kernel speedup or doubles the
+guard latency fails CI instead of merging a slow build.
+
+Baseline entries name a dotted field path inside the metric record, a
+direction, a reference value, and a tolerance:
+
+- ``higher`` — regression when ``value < baseline * (1 - tolerance)``;
+- ``lower``  — regression when ``value > baseline * (1 + tolerance)``.
+
+Deterministic metrics (virtual-clock latency, rule-visit ratios) carry
+the strict default tolerance (20 %); machine-dependent wall-clock
+speedups carry wider tolerances so the gate only fires on collapse, not
+on runner jitter.  Records stamped ``"gated": false`` (e.g. the Monte
+Carlo sweep on starved 2-core runners) are skipped.
+
+Usage::
+
+    python benchmarks/check_trend.py              # gate against baseline
+    python benchmarks/check_trend.py --write-baseline   # refresh values
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+DEFAULT_TREND = HERE / "results" / "trend.jsonl"
+DEFAULT_BASELINE = HERE / "trend_baseline.json"
+
+#: Strict default for deterministic metrics.
+DEFAULT_TOLERANCE = 0.20
+
+
+def load_latest(trend_path: Path) -> dict:
+    """Latest record per metric (later lines win)."""
+    latest: dict = {}
+    with trend_path.open(encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"error: {trend_path}:{lineno} is not valid JSON ({exc.msg})"
+                )
+            metric = record.get("metric")
+            if metric:
+                latest[metric] = record
+    return latest
+
+
+def dig(record: dict, path: str):
+    """Resolve a dotted field path, or None when absent."""
+    value = record
+    for part in path.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def check(gates: list, latest: dict) -> list:
+    """All failures as human-readable strings (empty = pass)."""
+    failures = []
+    for gate in gates:
+        metric, field = gate["metric"], gate["field"]
+        record = latest.get(metric)
+        if record is None:
+            failures.append(
+                f"{metric}: no record in the trend log (benchmark not run?)"
+            )
+            continue
+        if record.get("gated") is False:
+            print(f"  skip  {metric}.{field} (record marked gated: false)")
+            continue
+        value = dig(record, field)
+        if not isinstance(value, (int, float)):
+            failures.append(f"{metric}.{field}: missing or non-numeric ({value!r})")
+            continue
+        baseline = gate["baseline"]
+        tolerance = gate.get("tolerance", DEFAULT_TOLERANCE)
+        if gate["direction"] == "higher":
+            floor = baseline * (1.0 - tolerance)
+            ok = value >= floor
+            bound = f">= {floor:.4g}"
+        else:
+            ceiling = baseline * (1.0 + tolerance)
+            ok = value <= ceiling
+            bound = f"<= {ceiling:.4g}"
+        status = "ok" if ok else "FAIL"
+        print(
+            f"  {status:4}  {metric}.{field} = {value:.4g} "
+            f"(baseline {baseline:.4g}, need {bound})"
+        )
+        if not ok:
+            failures.append(
+                f"{metric}.{field} regressed: {value:.4g} vs baseline "
+                f"{baseline:.4g} (tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def write_baseline(gates: list, latest: dict, baseline_path: Path) -> int:
+    """Refresh every gate's baseline value from the current trend log."""
+    refreshed = 0
+    for gate in gates:
+        record = latest.get(gate["metric"])
+        if record is None or record.get("gated") is False:
+            continue
+        value = dig(record, gate["field"])
+        if isinstance(value, (int, float)):
+            gate["baseline"] = round(float(value), 6)
+            refreshed += 1
+    baseline_path.write_text(json.dumps({"gates": gates}, indent=2) + "\n")
+    print(f"wrote {refreshed}/{len(gates)} refreshed baselines to {baseline_path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trend", type=Path, default=DEFAULT_TREND)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="refresh baseline values from the current trend log and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.trend.exists():
+        print(f"error: trend log {args.trend} not found (run the benchmarks first)",
+              file=sys.stderr)
+        return 2
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+
+    gates = json.loads(args.baseline.read_text())["gates"]
+    latest = load_latest(args.trend)
+
+    if args.write_baseline:
+        return write_baseline(gates, latest, args.baseline)
+
+    print(f"perf trend gate: {len(gates)} gated fields, trend log {args.trend}")
+    failures = check(gates, latest)
+    if failures:
+        print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("all perf trend gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

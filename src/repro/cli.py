@@ -148,7 +148,7 @@ def _cmd_latency(args: argparse.Namespace) -> int:
     from repro.analysis.latency import measure_workflow_latency
     from repro.analysis.report import format_table
 
-    reports = measure_workflow_latency()
+    reports = measure_workflow_latency(compiled=args.compiled)
     rows = [
         [
             name,
@@ -159,9 +159,11 @@ def _cmd_latency(args: argparse.Namespace) -> int:
         ]
         for name, report in reports.items()
     ]
+    dispatch = "compiled" if args.compiled else "interpreted"
     print(format_table(
         ["configuration", "commands", "baseline", "overhead/cmd", "overhead %"],
-        rows, title="§II-C latency overhead (virtual clock)",
+        rows,
+        title=f"§II-C latency overhead (virtual clock, {dispatch} dispatch)",
     ))
     return 0
 
@@ -471,6 +473,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_montecarlo)
 
     p = sub.add_parser("latency", help="run the latency-overhead experiment")
+    dispatch = p.add_mutually_exclusive_group()
+    dispatch.add_argument(
+        "--compiled", dest="compiled", action="store_true", default=True,
+        help="use compiled rulebase dispatch (default)",
+    )
+    dispatch.add_argument(
+        "--interpreted", dest="compiled", action="store_false",
+        help="use the interpreted full-rulebase scan (reference path)",
+    )
     p.set_defaults(fn=_cmd_latency)
 
     p = sub.add_parser("calibration", help="run the frame-calibration experiment")

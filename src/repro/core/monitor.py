@@ -114,6 +114,13 @@ class RabitOptions:
     #: pays the full rulebase scan — the reference behaviour the cache's
     #: property tests compare against).
     rule_cache_size: int = 256
+    #: Consult the compiled per-(device-type, action-label) dispatch
+    #: tables (``RuleBase.compiled()``) and the incremental state
+    #: fingerprint token on the cold path; ``False`` selects the
+    #: interpreted full-scan reference path with the exact content-tuple
+    #: cache key.  Verdicts are pinned identical across both settings by
+    #: the compiled-vs-interpreted differential suite.
+    compiled_dispatch: bool = True
 
     @classmethod
     def initial(cls, **overrides: Any) -> "RabitOptions":
@@ -329,19 +336,30 @@ class Rabit:
         mutable beliefs — so repeated safe commands against unchanged state
         skip the scan entirely while any state transition, added rule, or
         model mutation forces a fresh evaluation.
+
+        With ``compiled_dispatch`` set (the default) the *cold* path is
+        cheap too: the scan runs against the rulebase's compiled
+        per-label decision lists (recompiled whenever the rulebase
+        revision moves) and the state contribution to the cache key is
+        the O(1) incremental token instead of the full content-tuple
+        rebuild.  Both substitutions are verdict-preserving; the
+        interpreted scan plus exact tuple key remains selectable as the
+        reference path.
         """
+        compiled = self.options.compiled_dispatch
+        dispatch = "compiled" if compiled else "interpreted"
         key = None
         if self.rule_cache is not None:
             key = (
                 call,
-                self.state.fingerprint(),
+                self.state.fingerprint_token() if compiled else self.state.fingerprint(),
                 self.rulebase.revision,
                 self.model.belief_fingerprint(),
             )
             cached = self.rule_cache.lookup(key)
             if cached is not MISS:
                 if TRACE.active:
-                    TRACE.stage_rule("hit", cached[0] if cached else None)
+                    TRACE.stage_rule("hit", cached[0] if cached else None, dispatch)
                 return cached
         ctx = CheckContext(
             state=self.state,
@@ -351,7 +369,8 @@ class Rabit:
             enforce_workspace_bounds=self.options.enforce_workspace_bounds,
             enforce_capacity=self.options.enforce_capacity,
         )
-        hit = self.rulebase.check_action(ctx)
+        engine = self.rulebase.compiled() if compiled else self.rulebase
+        hit = engine.check_action(ctx)
         verdict = None
         if hit is not None:
             rule, message = hit
@@ -362,6 +381,7 @@ class Rabit:
             TRACE.stage_rule(
                 "miss" if self.rule_cache is not None else "disabled",
                 verdict[0] if verdict else None,
+                dispatch,
             )
         return verdict
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -88,13 +88,31 @@ class Rule:
 
 
 class RuleBase:
-    """An ordered collection of rules, queried per action label."""
+    """An ordered collection of rules, queried per action label.
+
+    :meth:`check_action` is the *interpreted* reference path: it walks
+    the full rule list and asks each rule whether it applies to the
+    command's label before invoking its check.  :meth:`compiled`
+    memoizes a :class:`CompiledRuleBase` — per-label dispatch tables
+    built once at registration time — and recompiles whenever
+    :attr:`revision` moves, exactly like the geometry engines
+    invalidate on the model's geometry revision.
+    """
 
     def __init__(self, rules: Sequence[Rule] = ()) -> None:
         self._rules: List[Rule] = list(rules)
         #: Bumped on every mutation; the rule-verdict cache keys on it so
-        #: adding a rule at run time invalidates all cached verdicts.
+        #: adding a rule at run time invalidates all cached verdicts, and
+        #: the compiled dispatch tables recompile against it.
         self.revision: int = 0
+        self._compiled: Optional["CompiledRuleBase"] = None
+        #: Rules *visited* per check_action call (the applies_to scan) —
+        #: the cost the compiled dispatch removes; cold-path benchmarks
+        #: compare this counter across the two paths.
+        self.rules_considered: int = 0
+        #: Rule checks actually invoked (applicable rules walked until
+        #: the first violation) — identical across both paths.
+        self.checks_invoked: int = 0
 
     def add(self, rule: Rule) -> None:
         """Register an additional rule (lab-specific customization)."""
@@ -119,9 +137,83 @@ class RuleBase:
     def check_action(self, ctx: CheckContext) -> Optional[Tuple[Rule, str]]:
         """First violated rule for this action, with its reason."""
         for rule in self._rules:
+            self.rules_considered += 1
             if not rule.applies_to(ctx.call.label):
                 continue
+            self.checks_invoked += 1
             reason = rule.check(ctx)
+            if reason is not None:
+                return rule, reason
+        return None
+
+    def compile(self) -> "CompiledRuleBase":
+        """Build a fresh compiled form of the current rule list.
+
+        The snapshot is pinned to the current :attr:`revision`; it does
+        *not* follow later :meth:`add` calls.  Use :meth:`compiled` for
+        the self-invalidating accessor the monitor consults.
+        """
+        return CompiledRuleBase(self)
+
+    def compiled(self) -> "CompiledRuleBase":
+        """The memoized compiled form, recompiled on revision change."""
+        engine = self._compiled
+        if engine is None or engine.revision != self.revision:
+            engine = self._compiled = CompiledRuleBase(self)
+        return engine
+
+
+class CompiledRuleBase:
+    """Per-label decision lists compiled from a :class:`RuleBase`.
+
+    Compilation resolves, once, the question the interpreted scan
+    re-answers on every command — *which rules constrain this action
+    label?* — into a ``label -> ((rule, check), ...)`` dispatch table.
+    ``check_action`` then walks only the (typically 1-6 entry) decision
+    list for the command's label instead of consulting ``applies_to``
+    on all ~16 registered rules.  Registration order is preserved
+    within each list, so the first-violation verdict (rule id *and*
+    reason string) is byte-identical to the interpreted scan — the
+    differential suite pins this across the Monte Carlo mutant corpus
+    and the golden traces.
+    """
+
+    __slots__ = ("revision", "size", "_dispatch", "rules_considered", "checks_invoked")
+
+    def __init__(self, rulebase: RuleBase) -> None:
+        #: Revision of the source rulebase this table was compiled from.
+        self.revision = rulebase.revision
+        #: Number of rules compiled in.
+        self.size = len(rulebase.rules())
+        dispatch: Dict[ActionLabel, List[Tuple[Rule, CheckFn]]] = {}
+        for rule in rulebase.rules():
+            for label in rule.labels:
+                dispatch.setdefault(label, []).append((rule, rule.check))
+        self._dispatch: Dict[ActionLabel, Tuple[Tuple[Rule, CheckFn], ...]] = {
+            label: tuple(entries) for label, entries in dispatch.items()
+        }
+        #: Same counters as the interpreted path; here every decision-list
+        #: entry visited is also a check invocation candidate.
+        self.rules_considered: int = 0
+        self.checks_invoked: int = 0
+
+    def decision_list(self, label: ActionLabel) -> Tuple[Tuple[Rule, CheckFn], ...]:
+        """The precomputed ``(rule, check)`` entries for *label*, in
+        registration (first-violation) order."""
+        return self._dispatch.get(label, ())
+
+    def labels(self) -> FrozenSet[ActionLabel]:
+        """Every action label with a non-empty decision list."""
+        return frozenset(self._dispatch)
+
+    def check_action(self, ctx: CheckContext) -> Optional[Tuple[Rule, str]]:
+        """First violated rule for this action — same contract (and same
+        verdict) as :meth:`RuleBase.check_action`, minus the scan."""
+        entries = self._dispatch.get(ctx.call.label, ())
+        for rule, check in entries:
+            self.rules_considered += 1
+            self.checks_invoked += 1
+            reason = check(ctx)
             if reason is not None:
                 return rule, reason
         return None

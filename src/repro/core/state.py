@@ -63,6 +63,10 @@ ALL_VARS = OBSERVABLE_VARS | TRACKED_VARS
 #: Absolute tolerance when comparing float-valued observables.
 FLOAT_TOLERANCE = 1e-6
 
+#: Sentinel distinguishing "no entry" from a stored ``None`` value when
+#: maintaining the incremental fingerprint token.
+_ABSENT = object()
+
 
 class LabState:
     """One snapshot of every state variable of every device."""
@@ -71,6 +75,11 @@ class LabState:
         self._vars: Dict[str, Dict[str, Any]] = {var: {} for var in ALL_VARS}
         #: Lazily computed content fingerprint; ``None`` means stale.
         self._fingerprint: Optional[Tuple] = None
+        #: Incrementally maintained content token (see
+        #: :meth:`fingerprint_token`): the XOR of ``hash((var, key,
+        #: value))`` over every populated entry, updated in O(1) on each
+        #: mutation instead of rebuilt from the full state.
+        self._fp_token: int = 0
 
     # -- access ----------------------------------------------------------------
 
@@ -82,7 +91,20 @@ class LabState:
     def set(self, var: str, key: str, value: Any) -> None:
         """Set state variable *var* for *key* to *value*."""
         self._check_var(var)
-        self._vars[var][key] = value
+        self._write(var, key, value)
+
+    def _write(self, var: str, key: str, value: Any) -> None:
+        """Store one entry, keeping the incremental token in sync.
+
+        The token update is two integer XORs — no container is rebuilt,
+        sorted, or even touched beyond the entry itself — which is what
+        keeps cache-key construction off the guarded hot path."""
+        entries = self._vars[var]
+        old = entries.get(key, _ABSENT)
+        if old is not _ABSENT:
+            self._fp_token ^= hash((var, key, old))
+        entries[key] = value
+        self._fp_token ^= hash((var, key, value))
         self._fingerprint = None
 
     def entries(self, var: str) -> Dict[str, Any]:
@@ -113,6 +135,7 @@ class LabState:
         for var, entries in self._vars.items():
             dup._vars[var] = dict(entries)
         dup._fingerprint = self._fingerprint
+        dup._fp_token = self._fp_token
         return dup
 
     def merge_observed(self, observed: "LabState") -> "LabState":
@@ -122,8 +145,7 @@ class LabState:
         merged = self.copy()
         for var in OBSERVABLE_VARS:
             for key, value in observed._vars[var].items():
-                merged._vars[var][key] = value
-        merged._fingerprint = None
+                merged._write(var, key, value)
         return merged
 
     def as_dict(self) -> Dict[str, Dict[str, Any]]:
@@ -171,6 +193,23 @@ class LabState:
                 if self._vars[var]
             )
         return self._fingerprint
+
+    def fingerprint_token(self) -> int:
+        """The incremental content token — the compiled-dispatch cache key.
+
+        The XOR of ``hash((var, key, value))`` over every stored entry,
+        maintained entry-by-entry on mutation: content-equal snapshots
+        produce equal tokens regardless of mutation history (XOR is
+        commutative and self-inverse), and reading it costs one
+        attribute access instead of the O(state) sorted-tuple rebuild
+        :meth:`fingerprint` pays after every mutation.  Unlike the exact
+        content tuple this is a lossy 64-bit digest — two *different*
+        states colliding is possible in principle (~2^-64 per pair) —
+        which is why the interpreted reference path keeps the exact
+        tuple and the differential suite pins both paths to identical
+        verdicts.
+        """
+        return self._fp_token
 
     # -- comparison ---------------------------------------------------------------
 

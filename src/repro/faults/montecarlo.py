@@ -208,13 +208,16 @@ def _run_mutant(mutation_factory, monitored: bool) -> Tuple[bool, Tuple[str, ...
     return stopped, damage
 
 
-def run_mutant_monitored(seed: int, index: int):
+def run_mutant_monitored(seed: int, index: int, options=None):
     """Re-execute the *monitored* leg of mutant ``(seed, index)``.
 
     A pure function of the pair (same contract as :func:`score_mutant`),
     which is what lets a failed mutant's trace be recorded after the
     fact — in the parent process, after a sharded sweep — and still be
-    byte-identical to what the worker saw.  Returns
+    byte-identical to what the worker saw.  *options* overrides the
+    monitor configuration (default: modified RABIT); verdicts are pinned
+    dispatch-invariant, so passing an interpreted-dispatch variant keeps
+    the recorded trace replayable.  Returns
     ``(description, WorkflowResult)``."""
     from repro.faults.mutation import apply_mutations
     from repro.lab.workflows import run_workflow as _run
@@ -222,7 +225,9 @@ def run_mutant_monitored(seed: int, index: int):
     line_ids = reference_line_ids()
     description, factory = _sample_mutation(_rng_for_sample(seed, index), line_ids)
     deck = build_testbed_deck(noise_sigma=0.003)
-    rabit, proxies, _ = make_testbed_rabit(deck, options=RabitOptions.modified())
+    if options is None:
+        options = RabitOptions.modified()
+    rabit, proxies, _ = make_testbed_rabit(deck, options=options)
     lines = build_testbed_workflow(proxies)
     lines = apply_mutations(lines, deck.world, factory(proxies))
     return description, _run(lines)

@@ -14,10 +14,17 @@ Version history:
 - **1** — initial format: command events carried their virtual-clock
   timestamp under ``"time"`` and state deltas as ``{"var", "key",
   "value"}`` objects.
-- **2** (current) — timestamps renamed to ``"t"``; state-delta entries
+- **2** — timestamps renamed to ``"t"``; state-delta entries
   compacted to ``[var, key, value]`` triples (the form
   ``LabState.delta_from`` emits); both changes are lossless, so a v1
   trace upgraded to v2 replays byte-identically.
+- **3** (current) — command verdicts gain the ``"dispatch"`` dimension
+  (``"compiled"`` decision-list dispatch vs the ``"interpreted"``
+  full-rulebase scan).  Verdicts are pinned identical across dispatch
+  modes by the differential suite, so upgraded v2 traces adopt the
+  current default label (``"compiled"``) and still replay
+  byte-identically; the historical mode is not recoverable from a v2
+  file and cannot have affected any recorded verdict.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ __all__ = [
 ]
 
 #: The schema version this build writes.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 class TraceSchemaError(Exception):
@@ -64,9 +71,26 @@ def _upgrade_v1(header: dict, events: List[dict]) -> Tuple[dict, List[dict]]:
     return header, upgraded
 
 
+def _upgrade_v2(header: dict, events: List[dict]) -> Tuple[dict, List[dict]]:
+    """v2 -> v3: verdicts gain the dispatch-path dimension."""
+    upgraded: List[dict] = []
+    for event in events:
+        event = dict(event)
+        verdict = event.get("verdict")
+        if isinstance(verdict, dict) and "dispatch" not in verdict:
+            verdict = dict(verdict)
+            verdict["dispatch"] = "compiled"
+            event["verdict"] = verdict
+        upgraded.append(event)
+    header = dict(header)
+    header["schema_version"] = 3
+    return header, upgraded
+
+
 #: version -> function lifting a trace *from* that version to the next.
 _UPGRADES: Dict[int, Callable[[dict, List[dict]], Tuple[dict, List[dict]]]] = {
     1: _upgrade_v1,
+    2: _upgrade_v2,
 }
 
 

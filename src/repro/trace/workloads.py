@@ -41,6 +41,21 @@ def _workload(name: str) -> Callable[[WorkloadFn], WorkloadFn]:
     return register
 
 
+def _compiled(params: Dict[str, Any]) -> bool:
+    """Whether this run uses compiled rulebase dispatch.
+
+    Every workload honours an optional ``dispatch`` parameter
+    (``"compiled"``, the default, or ``"interpreted"``) so the
+    compiled-vs-interpreted differential suite can record both paths of
+    the same workload and pin their verdict streams identical."""
+    dispatch = params.get("dispatch", "compiled")
+    if dispatch not in ("compiled", "interpreted"):
+        raise KeyError(
+            f"unknown dispatch mode {dispatch!r}; use 'compiled' or 'interpreted'"
+        )
+    return dispatch == "compiled"
+
+
 def _bind_obs(rabit: Any) -> None:
     """Stamp spans with the run's virtual clock when observability is on
     (the recorded ``obs_span_id`` cross-links depend on span ids, which
@@ -69,7 +84,10 @@ def _run_solubility(params: Dict[str, Any]) -> Dict[str, Any]:
     from repro.lab.workflows import build_solubility_workflow, run_workflow
 
     deck = build_hein_deck()
-    options = RabitOptions.modified(use_extended_simulator=True, bypass_gui=True)
+    options = RabitOptions.modified(
+        use_extended_simulator=True, bypass_gui=True,
+        compiled_dispatch=_compiled(params),
+    )
     rabit, proxies, trace = make_hein_rabit(
         deck, options=options, use_extended_simulator=True, clock=VirtualClock()
     )
@@ -85,7 +103,9 @@ def _run_testbed(params: Dict[str, Any]) -> Dict[str, Any]:
     from repro.testbed.deck import build_testbed_deck, make_testbed_rabit
 
     deck = build_testbed_deck(noise_sigma=0.003)
-    rabit, proxies, trace = make_testbed_rabit(deck, options=RabitOptions.modified())
+    rabit, proxies, trace = make_testbed_rabit(
+        deck, options=RabitOptions.modified(compiled_dispatch=_compiled(params))
+    )
     _bind_obs(rabit)
     result = run_workflow(build_testbed_workflow(proxies))
     return _result_outcome(result, len(trace))
@@ -102,7 +122,9 @@ def _run_centrifuge(params: Dict[str, Any]) -> Dict[str, Any]:
     vial.decap_vial()
     vial.contents.solid_mg = 5.0
     vial.contents.liquid_ml = 5.0
-    rabit, proxies, trace = make_testbed_rabit(deck, options=RabitOptions.modified())
+    rabit, proxies, trace = make_testbed_rabit(
+        deck, options=RabitOptions.modified(compiled_dispatch=_compiled(params))
+    )
     _bind_obs(rabit)
     result = run_workflow(build_centrifuge_workflow(proxies))
     return _result_outcome(result, len(trace))
@@ -117,8 +139,12 @@ def _run_multi_door(params: Dict[str, Any]) -> Dict[str, Any]:
     )
     from repro.lab.workflows import run_workflow
 
+    from repro.core.monitor import RabitOptions
+
     deck = build_two_door_deck()
-    rabit, proxies, trace = make_two_door_rabit(deck)
+    rabit, proxies, trace = make_two_door_rabit(
+        deck, options=RabitOptions.modified(compiled_dispatch=_compiled(params))
+    )
     _bind_obs(rabit)
     result = run_workflow(build_two_door_workflow(proxies))
     return _result_outcome(result, len(trace))
@@ -126,10 +152,14 @@ def _run_multi_door(params: Dict[str, Any]) -> Dict[str, Any]:
 
 @_workload("mutant")
 def _run_mutant(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.core.monitor import RabitOptions
     from repro.faults.montecarlo import run_mutant_monitored
 
     seed, index = int(params["seed"]), int(params["index"])
-    description, result = run_mutant_monitored(seed, index)
+    description, result = run_mutant_monitored(
+        seed, index,
+        options=RabitOptions.modified(compiled_dispatch=_compiled(params)),
+    )
     outcome = _result_outcome(result, len(result.executed_lines))
     outcome["description"] = description
     outcome["detected"] = result.stopped_by_rabit
@@ -148,7 +178,7 @@ def _run_bug(params: Dict[str, Any]) -> Dict[str, Any]:
         raise KeyError(
             f"unknown bug id {bug_id!r}; known: {sorted(by_id)}"
         ) from None
-    outcome = run_bug(bug, config)
+    outcome = run_bug(bug, config, compiled_dispatch=_compiled(params))
     return {
         "bug_id": bug_id,
         "config": config,

@@ -1,0 +1,178 @@
+"""Compiler edge cases: empty rulebases, revision invalidation,
+duplicate-label ordering, and dispatch-table fidelity.
+
+The differential suite (``test_compiled_differential.py``) pins verdict
+equality across whole workloads; this file pins the compiler's
+*structural* contract — what the dispatch tables contain and when they
+are rebuilt.
+"""
+
+import pytest
+
+from repro.core.actions import ActionCall, ActionLabel
+from repro.core.rulebase import (
+    CheckContext,
+    Rule,
+    RuleBase,
+    RuleScope,
+    build_default_rulebase,
+)
+from repro.core.state import LabState
+
+from tests.test_core_rulebase import tiny_model
+
+
+def _rule(rule_id, labels, reason=None):
+    """A synthetic rule violating with *reason* (or passing on None)."""
+    return Rule(
+        rule_id=rule_id,
+        scope=RuleScope.CUSTOM,
+        description=f"synthetic rule {rule_id}",
+        labels=frozenset(labels),
+        check=lambda ctx, _r=reason: _r,
+    )
+
+
+def _ctx(call):
+    return CheckContext(state=LabState(), call=call, model=tiny_model())
+
+
+class TestEmptyRulebase:
+    def test_compiles_to_empty_dispatch(self):
+        compiled = RuleBase([]).compile()
+        assert compiled.size == 0
+        assert compiled.labels() == frozenset()
+        assert compiled.decision_list(ActionLabel.MOVE_ROBOT) == ()
+
+    def test_check_action_allows_everything(self):
+        compiled = RuleBase([]).compile()
+        call = ActionCall(ActionLabel.MOVE_ROBOT, "arm", robot="arm")
+        assert compiled.check_action(_ctx(call)) is None
+
+
+class TestRevisionInvalidation:
+    def test_add_after_compile_leaves_snapshot_stale(self):
+        rulebase = RuleBase([])
+        snapshot = rulebase.compile()
+        rulebase.add(_rule("X1", [ActionLabel.OPEN_DOOR], "no"))
+        # compile() is a pinned snapshot: it does not follow the add.
+        assert snapshot.revision != rulebase.revision
+        assert snapshot.decision_list(ActionLabel.OPEN_DOOR) == ()
+
+    def test_compiled_accessor_recompiles_on_revision_bump(self):
+        rulebase = RuleBase([])
+        first = rulebase.compiled()
+        assert rulebase.compiled() is first  # memoized while unchanged
+        rulebase.add(_rule("X1", [ActionLabel.OPEN_DOOR], "blocked"))
+        second = rulebase.compiled()
+        assert second is not first
+        assert second.revision == rulebase.revision
+        hit = second.check_action(_ctx(ActionCall(ActionLabel.OPEN_DOOR, "doser")))
+        assert hit is not None and hit[0].rule_id == "X1"
+
+    def test_rule_added_at_runtime_is_enforced_via_accessor(self):
+        rulebase = build_default_rulebase([])
+        rulebase.compiled()  # warm the memo, then mutate
+        rulebase.add(_rule("LAB-99", [ActionLabel.GO_HOME], "homing is banned"))
+        call = ActionCall(ActionLabel.GO_HOME, "arm", robot="arm")
+        hit = rulebase.compiled().check_action(_ctx(call))
+        assert hit is not None
+        assert (hit[0].rule_id, hit[1]) == ("LAB-99", "homing is banned")
+
+
+class TestDuplicateLabelOrdering:
+    def test_first_registered_rule_wins(self):
+        rulebase = RuleBase([
+            _rule("A", [ActionLabel.OPEN_DOOR], "A fired"),
+            _rule("B", [ActionLabel.OPEN_DOOR], "B fired"),
+        ])
+        ctx = _ctx(ActionCall(ActionLabel.OPEN_DOOR, "doser"))
+        interpreted = rulebase.check_action(ctx)
+        compiled = rulebase.compile().check_action(ctx)
+        assert interpreted is not None and compiled is not None
+        assert interpreted[0].rule_id == compiled[0].rule_id == "A"
+        assert interpreted[1] == compiled[1] == "A fired"
+
+    def test_passing_rule_falls_through_in_registration_order(self):
+        rulebase = RuleBase([
+            _rule("A", [ActionLabel.OPEN_DOOR], None),  # passes
+            _rule("B", [ActionLabel.OPEN_DOOR], "B fired"),
+        ])
+        hit = rulebase.compile().check_action(
+            _ctx(ActionCall(ActionLabel.OPEN_DOOR, "doser"))
+        )
+        assert hit is not None and hit[0].rule_id == "B"
+
+    def test_decision_list_preserves_registration_order(self):
+        rulebase = build_default_rulebase(["C1", "C2", "C3", "C4"])
+        compiled = rulebase.compile()
+        order = {rule.rule_id: i for i, rule in enumerate(rulebase.rules())}
+        for label in compiled.labels():
+            ids = [rule.rule_id for rule, _ in compiled.decision_list(label)]
+            assert ids == sorted(ids, key=order.__getitem__)
+
+
+class TestDispatchFidelity:
+    def test_decision_lists_match_applies_to_for_every_label(self):
+        rulebase = build_default_rulebase(["C1", "C2", "C3", "C4"])
+        compiled = rulebase.compile()
+        for label in ActionLabel:
+            expected = [r.rule_id for r in rulebase.rules() if r.applies_to(label)]
+            compiled_ids = [rule.rule_id for rule, _ in compiled.decision_list(label)]
+            assert compiled_ids == expected, label
+
+    def test_every_rule_appears_under_each_of_its_labels(self):
+        rulebase = build_default_rulebase(["C1", "C2", "C3", "C4"])
+        compiled = rulebase.compile()
+        for rule in rulebase.rules():
+            for label in rule.labels:
+                ids = [r.rule_id for r, _ in compiled.decision_list(label)]
+                assert rule.rule_id in ids
+
+    def test_t2_place_wrapper_vs_raw_gripper_split_survives(self):
+        """Table II's place precondition guards the modeled wrapper but
+        not raw ``open_gripper`` — the split the belief-tracking story
+        depends on must survive compilation."""
+        compiled = build_default_rulebase([]).compile()
+        place_ids = {r.rule_id for r, _ in compiled.decision_list(ActionLabel.PLACE_OBJECT)}
+        gripper_ids = {r.rule_id for r, _ in compiled.decision_list(ActionLabel.OPEN_GRIPPER)}
+        assert "T2-place" in place_ids
+        assert "T2-place" not in gripper_ids
+
+    def test_compiled_size_counts_all_rules(self):
+        rulebase = build_default_rulebase(["C1", "C2", "C3", "C4"])
+        assert rulebase.compile().size == len(rulebase.rules())
+
+
+class TestVisitCounters:
+    def test_compiled_visits_are_bounded_by_decision_list(self):
+        """The counter the cold-path gate compares: interpreted visits
+        every registered rule per command; compiled visits only the
+        label's decision list."""
+        rulebase = build_default_rulebase(["C1", "C2", "C3", "C4"])
+        compiled = rulebase.compile()
+        call = ActionCall(ActionLabel.OPEN_DOOR, "doser")
+        ctx = _ctx(call)
+
+        rulebase.check_action(ctx)
+        assert rulebase.rules_considered == len(rulebase.rules())
+
+        compiled.check_action(ctx)
+        assert compiled.rules_considered == len(
+            compiled.decision_list(ActionLabel.OPEN_DOOR)
+        )
+        assert 0 < compiled.rules_considered < rulebase.rules_considered
+
+    def test_checks_invoked_identical_across_paths(self):
+        rulebase = build_default_rulebase(["C1", "C2", "C3", "C4"])
+        compiled = rulebase.compile()
+        state = LabState()
+        state.set("door_status", "doser", "open")
+        ctx = CheckContext(
+            state=state,
+            call=ActionCall(ActionLabel.MOVE_ROBOT_INSIDE, "arm",
+                            robot="arm", location="doser_in"),
+            model=tiny_model(),
+        )
+        assert rulebase.check_action(ctx) == compiled.check_action(ctx)
+        assert rulebase.checks_invoked == compiled.checks_invoked

@@ -111,7 +111,10 @@ class TestReplay:
 
         bad = _rewrite(recorded, tmp_path / "future.trace.jsonl", from_the_future)
         assert main(["replay", str(bad)]) == 2
-        assert "unsupported trace schema_version 99" in capsys.readouterr().err
+        assert (
+            f"unsupported trace schema_version {SCHEMA_VERSION + 97}"
+            in capsys.readouterr().err
+        )
 
     def test_missing_file_exits_two(self, capsys):
         assert main(["replay", "/nonexistent/run.trace.jsonl"]) == 2
