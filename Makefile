@@ -1,6 +1,6 @@
 # Convenience targets for the RABIT reproduction.
 
-.PHONY: install lint test bench fk-bench examples campaign latency metrics montecarlo replay check clean
+.PHONY: install lint test bench fk-bench serve-bench examples campaign latency metrics montecarlo replay check clean
 
 install:
 	pip install -e .[dev]
@@ -24,6 +24,10 @@ bench:
 fk-bench:
 	PYTHONPATH=src python -m pytest benchmarks/test_fk_throughput.py
 
+# Multi-session guard-service throughput (K=8 vs sequential, hard 3x gate).
+serve-bench:
+	PYTHONPATH=src python -m pytest benchmarks/test_serve_throughput.py
+
 examples:
 	python examples/quickstart.py
 	python examples/solubility_experiment.py
@@ -41,7 +45,7 @@ metrics:
 	python -m repro metrics
 
 montecarlo:
-	python -m repro montecarlo --samples 40 --workers 0
+	python -m repro montecarlo --samples 40 --workers auto
 
 # Replay the committed golden traces: any byte-level divergence in the
 # verdict/state-delta stream fails the target (and prints the first

@@ -21,7 +21,10 @@ Operational entry points a lab would actually use:
   persist the schema-versioned run trace as JSONL;
 - ``replay`` — re-execute persisted traces and assert byte-identical
   verdicts/state deltas (``--diff`` prints the first divergence; exit 1
-  on mismatch, 2 on a corrupt or unreadable trace).
+  on mismatch, 2 on a corrupt or unreadable trace);
+- ``serve`` — run the long-lived asyncio guard service multiplexing many
+  concurrent lab sessions (unix socket or TCP, newline-delimited
+  canonical JSON; see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -30,6 +33,38 @@ import argparse
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: a strictly positive integer (exit 2 otherwise)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _workers_type(text: str) -> int:
+    """Argparse type for ``--workers``: a positive integer or ``auto``.
+
+    ``auto`` (one worker per CPU) maps to the engine's 0 sentinel; bare
+    ``0`` and negatives are rejected with a clear message instead of
+    being silently treated as auto.
+    """
+    if text.strip().lower() == "auto":
+        return 0
+    try:
+        return _positive_int(text)
+    except argparse.ArgumentTypeError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}"
+        ) from None
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -394,6 +429,42 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import GuardServer
+
+    server = GuardServer(
+        max_sessions=args.sessions,
+        queue_size=args.queue_size,
+        high_watermark=args.watermark,
+        max_batch=args.max_batch,
+        default_io_latency=args.io_latency,
+    )
+
+    async def run() -> None:
+        if args.socket:
+            await server.start_unix(args.socket)
+            print(f"guard service listening on unix socket {args.socket}")
+        else:
+            await server.start_tcp(args.host, args.port)
+            print(f"guard service listening on {args.host}:{args.port}")
+        print(
+            f"(max {args.sessions} sessions, sweep queue {args.queue_size}, "
+            f"watermark {args.watermark}, batch <= {args.max_batch})"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("guard service stopped")
+    return 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     from repro.simulator.render import render_topdown
 
@@ -443,8 +514,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--configs", default="", help="comma-separated configurations (default: all three)"
     )
     p.add_argument(
-        "--workers", type=int, default=1,
-        help="process-pool workers; 0 means one per CPU (default: 1, sequential)",
+        "--workers", type=_workers_type, default=1, metavar="N|auto",
+        help="process-pool workers; 'auto' means one per CPU (default: 1, sequential)",
     )
     p.add_argument(
         "--trace-dir", default="", dest="trace_dir",
@@ -456,11 +527,11 @@ def build_parser() -> argparse.ArgumentParser:
         "montecarlo",
         help="sample random workflow mutants; print the confusion matrix",
     )
-    p.add_argument("--samples", type=int, default=40, help="mutants to sample")
+    p.add_argument("--samples", type=_positive_int, default=40, help="mutants to sample")
     p.add_argument("--seed", type=int, default=2024, help="sweep base seed")
     p.add_argument(
-        "--workers", type=int, default=1,
-        help="process-pool workers; 0 means one per CPU (default: 1, sequential)",
+        "--workers", type=_workers_type, default=1, metavar="N|auto",
+        help="process-pool workers; 'auto' means one per CPU (default: 1, sequential)",
     )
     p.add_argument(
         "--jsonl", default="",
@@ -486,6 +557,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("calibration", help="run the frame-calibration experiment")
     p.set_defaults(fn=_cmd_calibration)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-session guard service (asyncio front-end)",
+    )
+    p.add_argument(
+        "--socket", default="", help="unix socket path (preferred when local)"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    p.add_argument("--port", type=_positive_int, default=7310, help="TCP bind port")
+    p.add_argument(
+        "--sessions", type=_positive_int, default=32, metavar="N",
+        help="max concurrent sessions (admission cap; default: 32)",
+    )
+    p.add_argument(
+        "--queue-size", type=_positive_int, default=64, dest="queue_size",
+        help="sweep queue bound (backpressure beyond it; default: 64)",
+    )
+    p.add_argument(
+        "--watermark", type=_positive_int, default=48,
+        help="sweep-queue high watermark (degraded probes beyond it; default: 48)",
+    )
+    p.add_argument(
+        "--max-batch", type=_positive_int, default=16, dest="max_batch",
+        help="max sweep jobs coalesced per batch (default: 16)",
+    )
+    p.add_argument(
+        "--io-latency", type=float, default=0.0, dest="io_latency",
+        help="default per-command device I/O latency, seconds (default: 0)",
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("render", help="print a top-down view of a deck")
     p.add_argument(

@@ -262,6 +262,23 @@ def _pickplace_call(robot: RobotArmDevice, ref: Any, label: ActionLabel) -> Acti
     )
 
 
+def resolve_action(
+    device: Device, method: str, args: tuple = (), kwargs: Optional[dict] = None
+) -> Optional[ActionCall]:
+    """Resolve one concrete device call into its :class:`ActionCall`.
+
+    The public face of the proxy's resolver table for callers that guard
+    commands without wrapping the device in a :class:`DeviceProxy` — the
+    serve front-end resolves each wire request through here so service
+    and in-process paths classify commands identically.  Returns ``None``
+    for unmodeled methods (which the proxy passes through untraced).
+    """
+    resolver = _resolver_for(device, method)
+    if resolver is None:
+        return None
+    return resolver(device, args, kwargs or {})
+
+
 def _resolver_for(device: Device, method: str) -> Optional[Resolver]:
     """Resolve a (device type, method) pair to an ActionCall factory."""
     if isinstance(device, RobotArmDevice):

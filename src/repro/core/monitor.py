@@ -221,6 +221,103 @@ class Rabit:
 
     def _guard_impl(self, call: ActionCall, execute: Callable[[], Any]) -> Any:
         """The Fig. 2 lines 4-16 algorithm (shared by both guard paths)."""
+        reason = self._guard_prelude(call)
+        if reason is not None:
+            return self._precondition_alert(call, reason)
+
+        # Lines 8-10: trajectory validation for robot commands.
+        if self._wants_trajectory(call):
+            problem = self.trajectory_checker.validate_trajectory(
+                call,
+                self.state,
+                self.model,
+                account_held_objects=self.options.account_held_objects,
+            )
+            if problem is not None:
+                return self._trajectory_alert(call, problem)
+
+        previous_state, expected = self._guard_expected(call)
+
+        # Line 12: execute the (now believed-safe) command.
+        with OBS.span("rabit.execute", device=call.device):
+            result = execute()
+
+        self._guard_postlude(call, expected, previous_state)
+        return result
+
+    async def guard_async(
+        self,
+        call: ActionCall,
+        execute: Callable[[], Any],
+        trajectory: Optional[Callable[[ActionCall], Any]] = None,
+    ) -> Any:
+        """The asynchronous Fig. 2 round-trip (the serve front-end path).
+
+        *execute* is an async callable (device I/O the event loop can
+        overlap across sessions); *trajectory*, when given, replaces the
+        synchronous trajectory checker with an awaitable so the serve
+        layer can route sweeps through the cross-session batcher.  The
+        stages, their order, the clock charges, and the alert
+        construction are shared with :meth:`guard` — the serve
+        differential suite pins the two paths verdict-byte-identical.
+
+        Spans are safe here: the runtime keeps its open-span stack in a
+        ``contextvars`` variable, so concurrent sessions awaiting inside
+        ``rabit.execute`` nest their spans per-task.
+        """
+        if not OBS.enabled:
+            return await self._guard_async_impl(call, execute, trajectory)
+        started = time.perf_counter()
+        with OBS.span(
+            "rabit.guard", label=call.label.value, device=call.device
+        ) as span:
+            try:
+                result = await self._guard_async_impl(call, execute, trajectory)
+            except SafetyViolation as violation:
+                span.set(outcome="stopped", alert=str(violation.alert))
+                raise
+            finally:
+                _OBS_GUARD_SECONDS.observe(time.perf_counter() - started)
+            span.set(outcome="completed")
+            return result
+
+    async def _guard_async_impl(
+        self,
+        call: ActionCall,
+        execute: Callable[[], Any],
+        trajectory: Optional[Callable[[ActionCall], Any]],
+    ) -> Any:
+        reason = self._guard_prelude(call)
+        if reason is not None:
+            return self._precondition_alert(call, reason)
+
+        if self._wants_trajectory(call):
+            if trajectory is not None:
+                problem = await trajectory(call)
+            else:
+                problem = self.trajectory_checker.validate_trajectory(
+                    call,
+                    self.state,
+                    self.model,
+                    account_held_objects=self.options.account_held_objects,
+                )
+            if problem is not None:
+                return self._trajectory_alert(call, problem)
+
+        previous_state, expected = self._guard_expected(call)
+
+        with OBS.span("rabit.execute", device=call.device):
+            result = await execute()
+
+        self._guard_postlude(call, expected, previous_state)
+        return result
+
+    # -- Fig. 2 stages (shared between the sync and async guards) ------
+
+    def _guard_prelude(self, call: ActionCall) -> Optional[tuple]:
+        """Lines 4-7: clock charges and precondition validation.
+
+        Returns the ``(rule_id, message)`` violation, or ``None``."""
         if not self._initialized:
             self.initialize()
         self.clock.advance(self.options.bookkeeping_latency, "rabit_bookkeeping")
@@ -237,50 +334,48 @@ class Rabit:
 
         # Lines 6-7: precondition validation.
         with OBS.span("rabit.validate", label=call.label.value):
-            reason = self._validate(call)
-        if reason is not None:
-            rule_id, message = reason
-            return self._alert(
-                Alert(
-                    kind=AlertKind.INVALID_COMMAND,
-                    message=message,
-                    command=call.describe(),
-                    rule_id=rule_id,
-                )
-            )
+            return self._validate(call)
 
-        # Lines 8-10: trajectory validation for robot commands.
-        if (
+    def _wants_trajectory(self, call: ActionCall) -> bool:
+        """Fig. 2 line 8: is this a robot command with a simulator attached?"""
+        return (
             call.label in ROBOT_MOVE_LABELS
             and self.options.use_extended_simulator
             and self.trajectory_checker is not None
-        ):
-            problem = self.trajectory_checker.validate_trajectory(
-                call,
-                self.state,
-                self.model,
-                account_held_objects=self.options.account_held_objects,
-            )
-            if problem is not None:
-                return self._alert(
-                    Alert(
-                        kind=AlertKind.INVALID_TRAJECTORY,
-                        message=problem,
-                        command=call.describe(),
-                    )
-                )
+        )
 
-        # Line 11: expected state from postconditions.
+    def _precondition_alert(self, call: ActionCall, reason: tuple) -> None:
+        rule_id, message = reason
+        return self._alert(
+            Alert(
+                kind=AlertKind.INVALID_COMMAND,
+                message=message,
+                command=call.describe(),
+                rule_id=rule_id,
+            )
+        )
+
+    def _trajectory_alert(self, call: ActionCall, problem: str) -> None:
+        return self._alert(
+            Alert(
+                kind=AlertKind.INVALID_TRAJECTORY,
+                message=problem,
+                command=call.describe(),
+            )
+        )
+
+    def _guard_expected(self, call: ActionCall) -> tuple:
+        """Line 11: expected state from postconditions."""
         previous_state = self.state if TRACE.active else None
         expected = self.transition_table.expected_state(
             self.state, call, self.model.transition_context()
         )
+        return previous_state, expected
 
-        # Line 12: execute the (now believed-safe) command.
-        with OBS.span("rabit.execute", device=call.device):
-            result = execute()
-
-        # Lines 13-15: fetch actual state, compare with expected.
+    def _guard_postlude(
+        self, call: ActionCall, expected: LabState, previous_state: Optional[LabState]
+    ) -> None:
+        """Lines 13-16: fetch actual state, compare, adopt, notify."""
         observed = self._fetch_state()
         mismatches = expected.diff_observable(observed)
         if OBS.enabled:
@@ -309,7 +404,6 @@ class Rabit:
                     involved=(key,),
                 )
             )
-        return result
 
     # ------------------------------------------------------------------
     # Internals

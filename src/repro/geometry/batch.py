@@ -233,6 +233,32 @@ class BatchCollisionEngine:
             return np.full(hits.shape[0], -1, dtype=np.int64)
         return np.where(hits.any(axis=1), hits.argmax(axis=1), -1)
 
+    def first_containing_many(
+        self, point_arrays: Sequence[Sequence[Sequence[float]]]
+    ) -> list:
+        """:meth:`first_containing` over many point sets in one pass.
+
+        Concatenates the ``(P_i, 3)`` arrays, runs a single stacked
+        containment matrix, and splits the result back per input array.
+        Because containment is evaluated row-independently, each returned
+        array is bit-identical to calling :meth:`first_containing` on its
+        input alone — this is the cross-session sweep-batching entry
+        point: the serve layer stacks probe arrays from many concurrent
+        sessions that share deck geometry and pays the kernel's fixed
+        costs once per batch instead of once per command.
+        """
+        arrays = [_as_points(a) for a in point_arrays]
+        if not arrays:
+            return []
+        stacked = np.concatenate(arrays, axis=0)
+        hit = self.first_containing(stacked)
+        out = []
+        offset = 0
+        for a in arrays:
+            out.append(hit[offset : offset + len(a)])
+            offset += len(a)
+        return out
+
     def polylines_hit_indices(
         self, paths: Sequence[Sequence[Sequence[float]]]
     ) -> np.ndarray:

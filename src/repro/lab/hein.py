@@ -24,6 +24,7 @@ from repro.core.config import build_model
 from repro.core.interceptor import CommandRecord, DeviceProxy, instrument
 from repro.core.model import RabitLabModel
 from repro.core.monitor import Rabit, RabitOptions
+from repro.core.rulebase import RuleBase
 from repro.devices.action_device import Centrifuge, Hotplate, Thermoshaker
 from repro.devices.base import Device, DoorState
 from repro.devices.container import Vial
@@ -92,12 +93,24 @@ class HeinDeck:
         return arm
 
 
-def build_hein_deck(vial_names: Tuple[str, ...] = ("vial_1", "vial_2")) -> HeinDeck:
+def build_hein_deck(
+    vial_names: Tuple[str, ...] = ("vial_1", "vial_2"),
+    world_geometry: bool = True,
+) -> HeinDeck:
     """Construct the Hein Lab production deck with vials on the grid.
 
     The first vial rests at ``grid_a1``, the second at ``grid_a2``; both
     start stoppered and empty, matching the start of the solubility
     workflow.
+
+    ``world_geometry=False`` builds the same deck minus the ground-truth
+    collision geometry (no surfaces, footprints, or passive obstacles in
+    the *world* — RABIT's configuration/model keep the full cuboid set).
+    The devices then execute without per-sample physics, which is the
+    serve throughput benchmark's stand-in for a remote lab whose real
+    physics happen on the other side of an I/O boundary.  Guard verdicts
+    are unaffected: the monitor and Extended Simulator only ever read
+    the config-derived model.
     """
     room = Workspace(
         bounds=Cuboid((-0.8, -0.8, -0.05), (0.8, 0.8, 1.2), name="lab_room")
@@ -106,10 +119,11 @@ def build_hein_deck(vial_names: Tuple[str, ...] = ("vial_1", "vial_2")) -> HeinD
     world.register_frame("ur3e", identity())
 
     # Obstacles and surfaces (ground truth, world frame).
-    for name, spec in GEOMETRY.items():
-        box = Cuboid(tuple(spec["min"]), tuple(spec["max"]), name=name)
-        if spec["surface"]:
-            world.add_surface(box)
+    if world_geometry:
+        for name, spec in GEOMETRY.items():
+            box = Cuboid(tuple(spec["min"]), tuple(spec["max"]), name=name)
+            if spec["surface"]:
+                world.add_surface(box)
 
     # Locations.
     for name, (kind, device, coords) in LOCATIONS.items():
@@ -135,13 +149,20 @@ def build_hein_deck(vial_names: Tuple[str, ...] = ("vial_1", "vial_2")) -> HeinD
         return Cuboid(tuple(spec["min"]), tuple(spec["max"]), name=name)
 
     world.add_device(ur3e)
-    world.add_device(dosing, footprint=_box("dosing_device"))
-    world.add_device(pump, footprint=_box("syringe_pump"))
-    world.add_device(hotplate, footprint=_box("hotplate"))
-    world.add_device(centrifuge, footprint=_box("centrifuge"))
-    world.add_device(shaker, footprint=_box("thermoshaker"))
-    # The grid is a passive obstacle, not a device.
-    world.add_obstacle(_box("grid"))  # passive fixture, not a device
+    if world_geometry:
+        world.add_device(dosing, footprint=_box("dosing_device"))
+        world.add_device(pump, footprint=_box("syringe_pump"))
+        world.add_device(hotplate, footprint=_box("hotplate"))
+        world.add_device(centrifuge, footprint=_box("centrifuge"))
+        world.add_device(shaker, footprint=_box("thermoshaker"))
+        # The grid is a passive obstacle, not a device.
+        world.add_obstacle(_box("grid"))  # passive fixture, not a device
+    else:
+        world.add_device(dosing)
+        world.add_device(pump)
+        world.add_device(hotplate)
+        world.add_device(centrifuge)
+        world.add_device(shaker)
 
     vials: Dict[str, Vial] = {}
     slots = ["grid_a1", "grid_a2"]
@@ -261,11 +282,15 @@ def make_hein_rabit(
     options: Optional[RabitOptions] = None,
     use_extended_simulator: bool = False,
     clock: Optional[VirtualClock] = None,
+    rulebase: Optional[RuleBase] = None,
 ) -> Tuple[Rabit, Dict[str, DeviceProxy], List[CommandRecord]]:
     """Wire RABIT onto the deck: monitor, simulator, tracing proxies.
 
     Seeds the tracked initial inventory (which vial starts where, empty
     and stoppered) the way the lab researcher does at experiment start.
+    Pass *rulebase* to supply a prebuilt (possibly tenant-overlaid)
+    rulebase; sessions sharing one instance also share its memoized
+    compiled snapshot.
     """
     opts = options or RabitOptions.modified()
     if use_extended_simulator:
@@ -279,6 +304,7 @@ def make_hein_rabit(
         options=opts,
         trajectory_checker=checker,
         clock=clock,
+        rulebase=rulebase,
     )
     for vial_name, vial in deck.vials.items():
         if vial.resting_at is not None:

@@ -16,13 +16,19 @@ hold module-level handles; :meth:`MetricsRegistry.reset` zeroes values
 - :meth:`MetricsRegistry.snapshot` — a JSON-safe nested dict for
   programmatic consumers (the CLI summary, the session report).
 
-No locks: the simulation is single-threaded, like the rest of the
-reproduction; the registry documents rather than hides that assumption.
+Concurrency: per-series updates (``inc``/``set``/``observe``) run no
+``await`` and therefore execute atomically with respect to other asyncio
+tasks on the same event loop — the guard-as-a-service front-end relies on
+this, and the interleaved-session regression test pins it.  Registration
+(``registry.counter(...)`` etc.) *is* guarded by a lock, because module
+import and worker threads may race to get-or-create the same metric; the
+hot update path stays lock-free.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
@@ -312,6 +318,10 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, MetricType] = {}
+        # Registration is the one cross-thread entry point (module import
+        # order, worker pools); series updates stay lock-free and rely on
+        # event-loop atomicity instead.
+        self._register_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -319,21 +329,22 @@ class MetricsRegistry:
     def _get_or_create(
         self, cls: type, name: str, help: str, labels: Sequence[str], **kwargs: Any
     ) -> MetricType:
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as {existing.kind}"
-                )
-            if tuple(labels) != existing.label_names:
-                raise ValueError(
-                    f"metric {name!r} already registered with labels "
-                    f"{existing.label_names}"
-                )
-            return existing
-        metric = cls(name, help, labels, **kwargs)
-        self._metrics[name] = metric
-        return metric
+        with self._register_lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                if tuple(labels) != existing.label_names:
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.label_names}"
+                    )
+                return existing
+            metric = cls(name, help, labels, **kwargs)
+            self._metrics[name] = metric
+            return metric
 
     def counter(
         self, name: str, help: str = "", labels: Sequence[str] = ()

@@ -23,9 +23,10 @@ Typical use (what ``python -m repro metrics`` does)::
 
 from __future__ import annotations
 
+import contextvars
 import functools
 import time
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Span, SpanCollector
@@ -71,6 +72,20 @@ class _SpanContext:
         return False
 
 
+#: The open-span stack, held in a :mod:`contextvars` variable rather than
+#: a plain list on the runtime.  Under asyncio each task sees its own
+#: copy of the context, so two guard sessions interleaving awaits build
+#: independent span trees instead of silently cross-parenting (the
+#: guard-as-a-service front-end runs many sessions on one event loop).
+#: The value is an immutable tuple — pushes and pops *set* a new tuple —
+#: because a shared mutable list would leak edits across tasks that
+#: inherited it.  Plain synchronous code is unaffected: it runs in the
+#: one ambient context and sees the exact old behaviour.
+_SPAN_STACK: contextvars.ContextVar[Tuple[Span, ...]] = contextvars.ContextVar(
+    "repro_obs_span_stack", default=()
+)
+
+
 class Observability:
     """Span collector + metrics registry behind one enable switch."""
 
@@ -81,7 +96,6 @@ class Observability:
         self.registry = MetricsRegistry()
         self.collector = SpanCollector(capacity)
         self._clock: Optional[Any] = None
-        self._stack: List[Span] = []
         self._next_id: int = 1
 
     # -- switch ------------------------------------------------------------
@@ -109,7 +123,7 @@ class Observability:
         self.collector.clear()
         self.registry.reset()
         self._clock = None
-        self._stack.clear()
+        _SPAN_STACK.set(())
         self._next_id = 1
 
     # -- spans -------------------------------------------------------------
@@ -147,25 +161,29 @@ class Observability:
         return clock.now if clock is not None else None
 
     def _open(self, name: str, attributes: dict) -> Span:
+        stack = _SPAN_STACK.get()
         span = Span(
             name=name,
             span_id=self._next_id,
-            parent_id=self._stack[-1].span_id if self._stack else None,
+            parent_id=stack[-1].span_id if stack else None,
             start_wall=time.perf_counter(),
             start_virtual=self._virtual_now(),
             attributes=dict(attributes),
         )
         self._next_id += 1
-        self._stack.append(span)
+        _SPAN_STACK.set(stack + (span,))
         return span
 
     def _close(self, span: Span) -> None:
         span.end_wall = time.perf_counter()
         span.end_virtual = self._virtual_now()
-        # Tolerate exception-skewed exits: close everything above *span*.
-        while self._stack:
-            top = self._stack.pop()
-            if top is span:
+        # Tolerate exception-skewed exits: close everything above *span*
+        # (only this task's stack is touched — siblings on other tasks
+        # keep their own open spans).
+        stack = _SPAN_STACK.get()
+        for i, open_span in enumerate(stack):
+            if open_span is span:
+                _SPAN_STACK.set(stack[:i])
                 break
         self.collector.record(span)
 

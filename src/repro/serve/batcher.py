@@ -1,0 +1,276 @@
+"""Cross-session collision-sweep batching with backpressure.
+
+The dominant per-command cost of a guarded robot move is the trajectory
+sweep.  Its kernel — :meth:`BatchCollisionEngine.first_containing` — is
+row-independent, so probe arrays from *different sessions* that share
+deck geometry can be stacked into one containment pass and pay the
+kernel's fixed costs once per batch instead of once per command.
+
+:class:`SweepBatcher` is the funnel: sessions submit prepared
+:class:`~repro.simulator.extended.SweepJob` s into one bounded
+:class:`asyncio.Queue`; a drainer task coalesces whatever has
+accumulated (up to ``max_batch``), groups it by geometry key, runs one
+stacked pass per (group, probe family), and resolves each job's future
+with the verdict :func:`~repro.simulator.extended.finish_sweep` derives.
+Because every per-job result is bit-identical to evaluating that job
+alone, batching is invisible to verdicts — the differential suite pins
+this.
+
+Two overload behaviours, both explicit, never silent:
+
+- **Backpressure** — the queue is bounded; when it is full, ``submit``
+  blocks the producing session (``await queue.put``), throttling
+  admission at the source and counting the event.
+- **Degradation** — above ``high_watermark`` the sweep falls back to an
+  *inline tool-point-only* probe (arm points against obstacles, plus
+  walls/bounds; gripper-tip and held-vial probes skipped).  The verdict
+  comes back flagged ``degraded`` so the caller can surface it — a
+  degraded clearance is weaker evidence than a full sweep and must never
+  masquerade as one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.geometry.batch import BatchCollisionEngine
+from repro.obs import OBS
+from repro.simulator.extended import SweepJob, build_sweep_engines, finish_sweep
+
+__all__ = ["SweepBatcher"]
+
+_OBS_SWEEPS = OBS.registry.counter(
+    "serve_sweeps_total",
+    "Sweeps routed through the cross-session batcher, by mode.",
+    labels=("mode",),
+)
+_OBS_BATCHES = OBS.registry.counter(
+    "serve_batches_total", "Cross-session sweep batches executed."
+)
+_OBS_BATCH_SIZE = OBS.registry.histogram(
+    "serve_batch_size",
+    "Jobs per cross-session sweep batch.",
+    buckets=(1, 2, 4, 8, 16, 32),
+)
+_OBS_QUEUE_DEPTH = OBS.registry.gauge(
+    "serve_sweep_queue_depth", "Sweep jobs waiting in the batcher queue."
+)
+_OBS_THROTTLED = OBS.registry.counter(
+    "serve_admission_throttled_total",
+    "Submissions that blocked on a full sweep queue (backpressure).",
+)
+
+
+class SweepBatcher:
+    """One bounded sweep queue + drainer shared by every session."""
+
+    def __init__(
+        self,
+        maxsize: int = 64,
+        high_watermark: int = 48,
+        max_batch: int = 16,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        if not 0 < high_watermark <= maxsize:
+            raise ValueError("high_watermark must be in [1, maxsize]")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.maxsize = maxsize
+        self.high_watermark = high_watermark
+        self.max_batch = max_batch
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize)
+        #: Engine pairs per geometry key.  Keys embed the deck signature
+        #: (or a per-session unique token once a session's geometry
+        #: revision moves), the frame, and the exclusion set — everything
+        #: engine construction reads — so an entry can never serve stale
+        #: geometry.
+        self._engines: Dict[
+            Hashable, Tuple[BatchCollisionEngine, BatchCollisionEngine]
+        ] = {}
+        self._drainer: Optional[asyncio.Task] = None
+        #: Operational counters.  Plain ints mutated only between awaits,
+        #: authoritative regardless of whether observability is enabled.
+        self.stats: Dict[str, int] = {
+            "submitted": 0,
+            "batched": 0,
+            "batches": 0,
+            "max_batch": 0,
+            "degraded": 0,
+            "throttled": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the drainer task on the running event loop."""
+        if self._drainer is None or self._drainer.done():
+            self._drainer = asyncio.get_running_loop().create_task(
+                self._drain_loop(), name="sweep-batcher-drain"
+            )
+
+    async def stop(self) -> None:
+        """Cancel the drainer and fail any jobs still queued."""
+        if self._drainer is not None:
+            self._drainer.cancel()
+            try:
+                await self._drainer
+            except asyncio.CancelledError:
+                pass
+            self._drainer = None
+        while not self._queue.empty():
+            _job, _key, future = self._queue.get_nowait()
+            if not future.done():
+                future.set_exception(RuntimeError("sweep batcher stopped"))
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting (gauge snapshot)."""
+        return self._queue.qsize()
+
+    # -- submission --------------------------------------------------------
+
+    async def submit(
+        self, job: SweepJob, geom_key: Hashable
+    ) -> Tuple[Optional[str], bool]:
+        """Sweep *job*, batched when possible; ``(problem, degraded)``.
+
+        *geom_key* must be equal for two jobs only when their deck
+        geometry (frame, exclusions, cuboid contents) is identical —
+        sessions compute it from the deck signature and their geometry
+        revision.  Returns the verdict message (or ``None`` for clear)
+        plus whether the degraded tool-point-only path produced it.
+        """
+        self.stats["submitted"] += 1
+        if self._queue.qsize() >= self.high_watermark:
+            # Over the watermark: shed load by answering inline with the
+            # cheaper tool-point-only probe, explicitly flagged.
+            self.stats["degraded"] += 1
+            if OBS.enabled:
+                _OBS_SWEEPS.inc(1, mode="degraded")
+            return self._degraded_probe(job, geom_key), True
+
+        future = asyncio.get_running_loop().create_future()
+        item = (job, geom_key, future)
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            # Backpressure: block this session's admission until the
+            # drainer frees a slot.  The command stalls at its source
+            # instead of the service buffering unboundedly.
+            self.stats["throttled"] += 1
+            if OBS.enabled:
+                _OBS_THROTTLED.inc(1)
+            await self._queue.put(item)
+        if OBS.enabled:
+            _OBS_QUEUE_DEPTH.set(float(self._queue.qsize()))
+            _OBS_SWEEPS.inc(1, mode="batched")
+        return await future, False
+
+    # -- the drainer -------------------------------------------------------
+
+    async def _drain_loop(self) -> None:
+        while True:
+            first = await self._queue.get()
+            # One cooperative yield lets sessions that were about to
+            # submit land in this batch instead of the next.
+            await asyncio.sleep(0)
+            batch = [first]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            if OBS.enabled:
+                _OBS_QUEUE_DEPTH.set(float(self._queue.qsize()))
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: List[tuple]) -> None:
+        self.stats["batches"] += 1
+        self.stats["batched"] += len(batch)
+        self.stats["max_batch"] = max(self.stats["max_batch"], len(batch))
+        if OBS.enabled:
+            _OBS_BATCHES.inc(1)
+            _OBS_BATCH_SIZE.observe(float(len(batch)))
+
+        groups: Dict[Hashable, List[tuple]] = {}
+        for item in batch:
+            groups.setdefault(item[1], []).append(item)
+        for geom_key, items in groups.items():
+            try:
+                self._run_group(geom_key, items)
+            except Exception as exc:  # pragma: no cover - defensive
+                for _job, _key, future in items:
+                    if not future.done():
+                        future.set_exception(exc)
+
+    def _run_group(self, geom_key: Hashable, items: List[tuple]) -> None:
+        """Evaluate one geometry-homogeneous group in stacked passes."""
+        obst_engine, full_engine = self._engines_for(geom_key, items[0][0])
+
+        jobs = [item[0] for item in items]
+        probe_sets = [job.probe_points() for job in jobs]
+        arm_hits = obst_engine.first_containing_many([p[0] for p in probe_sets])
+        # Gripper tips for every job, then vial tips for the jobs that
+        # hold something — one stacked pass against the full engine.
+        full_arrays = [p[1] for p in probe_sets]
+        vial_jobs = [i for i, p in enumerate(probe_sets) if p[2] is not None]
+        full_arrays.extend(probe_sets[i][2] for i in vial_jobs)
+        full_hits = full_engine.first_containing_many(full_arrays)
+        tip_hits = full_hits[: len(jobs)]
+        vial_hits = dict(zip(vial_jobs, full_hits[len(jobs) :]))
+
+        for i, (job, _key, future) in enumerate(items):
+            problem = finish_sweep(
+                job.call,
+                job.samples,
+                job.model.walls.get(job.frame, []),
+                job.model.workspace_bounds.get(job.frame),
+                job.held,
+                arm_hits[i],
+                tip_hits[i],
+                vial_hits.get(i),
+                obst_engine.names,
+                full_engine.names,
+            )
+            if not future.done():
+                future.set_result(problem)
+
+    # -- degraded path -----------------------------------------------------
+
+    def _degraded_probe(self, job: SweepJob, geom_key: Hashable) -> Optional[str]:
+        """Tool-point-only sweep: arm points, walls, bounds — no tips.
+
+        Strictly weaker than the full sweep (it can miss gripper-tip and
+        held-vial strikes), which is exactly why its verdicts are always
+        flagged degraded by :meth:`submit`."""
+        obst_engine, full_engine = self._engines_for(geom_key, job)
+        arm_hit = obst_engine.first_containing(job.samples)
+        return finish_sweep(
+            job.call,
+            job.samples,
+            job.model.walls.get(job.frame, []),
+            job.model.workspace_bounds.get(job.frame),
+            job.held,
+            arm_hit,
+            None,
+            None,
+            obst_engine.names,
+            full_engine.names,
+        )
+
+    # -- engines -----------------------------------------------------------
+
+    def _engines_for(
+        self, geom_key: Hashable, job: SweepJob
+    ) -> Tuple[BatchCollisionEngine, BatchCollisionEngine]:
+        engines = self._engines.get(geom_key)
+        if engines is None:
+            if len(self._engines) >= 256:
+                # Safety valve: geometry keys churn only when sessions
+                # mutate geometry; cap the cache rather than grow forever.
+                self._engines.clear()
+            engines = build_sweep_engines(job.model, job.frame, list(job.exclude))
+            self._engines[geom_key] = engines
+        return engines

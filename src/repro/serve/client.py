@@ -1,0 +1,166 @@
+"""The thin asyncio client for the guard service.
+
+One :class:`ServeClient` wraps one stream connection (unix socket or
+TCP) and one session.  Requests and responses are the newline-delimited
+canonical-JSON frames of :mod:`repro.serve.protocol`; connect attempts
+are wrapped in :func:`repro.serve.retry.retrying` so a client racing the
+server's startup backs off instead of failing instantly.
+
+Typical use::
+
+    client = await ServeClient.open_unix("/tmp/rabit.sock")
+    await client.open_session(deck="hein", io_latency=0.004)
+    verdict = await client.command("ur3e", "go_to_home_pose")
+    journal = await client.journal()
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.protocol import ProtocolError, encode_message, read_message
+from repro.serve.retry import RetryPolicy, retrying
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """The service answered ``ok: false`` (or hung up mid-request)."""
+
+
+#: Unix-socket connects surface a missing socket file as
+#: ``FileNotFoundError`` rather than ``ConnectionRefusedError``; for a
+#: client racing server startup the two are the same transient.
+_CONNECT_POLICY = RetryPolicy(
+    retry_on=(ConnectionError, TimeoutError, FileNotFoundError)
+)
+
+
+class ServeClient:
+    """One connection + one session against a :class:`GuardServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.session_id: Optional[int] = None
+
+    # -- connecting --------------------------------------------------------
+
+    @classmethod
+    async def open_unix(
+        cls, path: str, retry: Optional[RetryPolicy] = None
+    ) -> "ServeClient":
+        """Connect to a unix-socket service, retrying transient failures."""
+        policy = retry or _CONNECT_POLICY
+
+        @retrying(policy)
+        async def connect() -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+            return await asyncio.open_unix_connection(path)
+
+        reader, writer = await connect()
+        return cls(reader, writer)
+
+    @classmethod
+    async def open_tcp(
+        cls, host: str, port: int, retry: Optional[RetryPolicy] = None
+    ) -> "ServeClient":
+        """Connect to a TCP service, retrying transient failures."""
+        policy = retry or replace(
+            _CONNECT_POLICY, retry_on=(ConnectionError, TimeoutError)
+        )
+
+        @retrying(policy)
+        async def connect() -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+            return await asyncio.open_connection(host, port)
+
+        reader, writer = await connect()
+        return cls(reader, writer)
+
+    # -- request/response --------------------------------------------------
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One round-trip; raises :class:`ServeError` on ``ok: false``."""
+        self._writer.write(encode_message(payload))
+        await self._writer.drain()
+        try:
+            response = await read_message(self._reader)
+        except ProtocolError as exc:
+            raise ServeError(f"malformed response: {exc}") from exc
+        if response is None:
+            raise ServeError("connection closed by the service")
+        if not response.get("ok", False) and "error" in response:
+            raise ServeError(response["error"])
+        return response
+
+    # -- operations --------------------------------------------------------
+
+    async def ping(self) -> None:
+        """Liveness round-trip."""
+        await self.request({"op": "ping"})
+
+    async def open_session(
+        self,
+        deck: str = "hein",
+        params: Optional[Dict[str, Any]] = None,
+        tenant: str = "default",
+        io_latency: Optional[float] = None,
+    ) -> int:
+        """Open this connection's session; returns the session id."""
+        payload: Dict[str, Any] = {"op": "open", "deck": deck, "tenant": tenant}
+        if params:
+            payload["params"] = params
+        if io_latency is not None:
+            payload["io_latency"] = io_latency
+        response = await self.request(payload)
+        self.session_id = int(response["session"])
+        return self.session_id
+
+    async def command(
+        self,
+        device: str,
+        method: str,
+        *args: Any,
+        **kwargs: Any,
+    ) -> Dict[str, Any]:
+        """Guard one device command; returns the verdict dict.
+
+        Unlike the in-process proxy, an alert does not raise — the
+        verdict comes back with ``ok: false``-style fields (``alert``,
+        ``degraded``) for the caller to inspect.
+        """
+        return await self.request(
+            {
+                "op": "command",
+                "device": device,
+                "method": method,
+                "args": list(args),
+                "kwargs": kwargs,
+            }
+        )
+
+    async def journal(self) -> List[Dict[str, Any]]:
+        """The session's verdict journal so far."""
+        response = await self.request({"op": "journal"})
+        return response["journal"]
+
+    async def stats(self) -> Dict[str, Any]:
+        """Service-wide counters/gauges."""
+        response = await self.request({"op": "stats"})
+        return response["stats"]
+
+    async def close(self) -> None:
+        """Close the session and the connection."""
+        try:
+            await self.request({"op": "close"})
+        except (ServeError, ConnectionError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass

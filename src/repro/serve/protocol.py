@@ -1,0 +1,79 @@
+"""The wire format: newline-delimited canonical JSON.
+
+Every message — request or response — is one line: the
+:func:`repro.trace.canon.canonical_json` rendering of a JSON object,
+terminated by ``\\n``.  Canonical form (sorted keys, compact separators,
+ASCII) means a message's bytes are a pure function of its content, so
+the differential suite can compare whole conversations byte-for-byte
+and a response can double as its own equality witness.
+
+The framing is deliberately the simplest thing that works over
+:mod:`asyncio` streams; per-message size is bounded by
+:data:`MAX_MESSAGE_BYTES` so one malformed client cannot balloon server
+memory.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.trace.canon import canonical_bytes
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "ProtocolError",
+    "encode_message",
+    "read_message",
+]
+
+#: Per-message ceiling (bytes, including the newline).  Generous for any
+#: legitimate command or journal chunk; a hard stop for garbage.
+MAX_MESSAGE_BYTES = 1 << 20
+
+
+class ProtocolError(Exception):
+    """The peer sent something that is not a protocol message."""
+
+
+def encode_message(payload: Any) -> bytes:
+    """One wire frame: canonical JSON + newline."""
+    data = canonical_bytes(payload) + b"\n"
+    if len(data) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds the {MAX_MESSAGE_BYTES}-byte frame limit"
+        )
+    return data
+
+
+async def read_message(reader: Any) -> Optional[dict]:
+    """Read one frame; ``None`` on clean EOF, :class:`ProtocolError` on junk.
+
+    *reader* is an :class:`asyncio.StreamReader` (or anything with an
+    async ``readline``).  A line that is not a JSON object, is not valid
+    JSON, or overruns the frame limit raises — the connection is then
+    unusable and should be closed.
+    """
+    try:
+        line = await reader.readline()
+    except (ValueError, LookupError) as exc:
+        # StreamReader raises ValueError (LimitOverrunError under the
+        # hood) when a line exceeds the stream's limit.
+        raise ProtocolError(f"oversized or unframed message: {exc}") from exc
+    if not line:
+        return None
+    if not line.endswith(b"\n"):
+        raise ProtocolError("connection closed mid-message")
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the {MAX_MESSAGE_BYTES}-byte frame limit"
+        )
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"expected a JSON object frame, got {type(payload).__name__}"
+        )
+    return payload

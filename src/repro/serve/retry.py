@@ -1,0 +1,94 @@
+"""Client-side resilience: bounded exponential backoff with seeded jitter.
+
+A serve client's connect can race the server's startup, or hit a
+transient network stall; :func:`retrying` wraps an async callable so
+those two failure classes — and *only* those — are retried.  Everything
+else (protocol errors, safety verdicts, programming mistakes) propagates
+immediately: retrying a non-transient failure just hides bugs.
+
+The backoff schedule is fully deterministic: delays double from
+``base_delay`` up to ``max_delay``, and the jitter factor comes from a
+``random.Random(seed)`` stream, so a given policy always produces the
+same delay sequence.  Deterministic jitter keeps the *tests* exact while
+still letting a fleet of clients with distinct seeds decorrelate their
+retries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Tuple, Type
+
+__all__ = ["RetryPolicy", "backoff_delays", "retrying"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) to retry a transiently failing call."""
+
+    #: Total attempts, including the first (so ``attempts=1`` never retries).
+    attempts: int = 4
+    #: Delay before the first retry, seconds.
+    base_delay: float = 0.05
+    #: Ceiling on any single delay, seconds (the "bounded" in bounded
+    #: exponential backoff).
+    max_delay: float = 1.0
+    #: Jitter amplitude: each delay is scaled by ``1 + jitter * u`` with
+    #: ``u`` drawn from the seeded stream in ``[0, 1)``.
+    jitter: float = 0.25
+    #: Seed of the jitter stream; same seed ⇒ same delay sequence.
+    seed: int = 0
+    #: Exception types that are considered transient.  Connect and
+    #: timeout failures only — nothing else is safe to blindly replay.
+    retry_on: Tuple[Type[BaseException], ...] = field(
+        default=(ConnectionError, TimeoutError)
+    )
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+
+def backoff_delays(policy: RetryPolicy) -> List[float]:
+    """The full (deterministic) delay schedule: one entry per retry."""
+    rng = random.Random(policy.seed)
+    delays = []
+    for attempt in range(policy.attempts - 1):
+        base = min(policy.max_delay, policy.base_delay * (2.0**attempt))
+        delays.append(base * (1.0 + policy.jitter * rng.random()))
+    return delays
+
+
+def retrying(
+    policy: RetryPolicy = RetryPolicy(),
+    sleep: Callable[[float], Any] = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator: retry an async callable per *policy*.
+
+    *sleep* defaults to :func:`asyncio.sleep`; tests inject a fake clock
+    here to pin the exact delay sequence without waiting.  The final
+    attempt's exception propagates unchanged.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        @functools.wraps(fn)
+        async def wrapper(*args: Any, **kwargs: Any) -> Any:
+            do_sleep = sleep if sleep is not None else asyncio.sleep
+            delays = backoff_delays(policy)
+            for attempt in range(policy.attempts):
+                try:
+                    return await fn(*args, **kwargs)
+                except policy.retry_on:
+                    if attempt == policy.attempts - 1:
+                        raise
+                    await do_sleep(delays[attempt])
+            raise AssertionError("unreachable")  # pragma: no cover
+
+        return wrapper
+
+    return decorate

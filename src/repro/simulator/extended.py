@@ -46,7 +46,8 @@ it can only add verdicts, never change existing ones.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -84,6 +85,137 @@ _OBS_ENGINE_CACHE = OBS.registry.counter(
     "Per-(frame, exclusions) packed-engine cache outcomes.",
     labels=("result",),
 )
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """A fully prepared trajectory sweep, separated from its evaluation.
+
+    :meth:`ExtendedSimulator.prepare_sweep` derives one of these from a
+    command (plan the motion, resolve exclusions, sample the tool line);
+    the probe arrays it yields can then be evaluated inline (the classic
+    path) or concatenated with other sessions' jobs and run through one
+    stacked :class:`BatchCollisionEngine` pass (the serve batcher).  The
+    hit arrays go back through :func:`finish_sweep`, which owns the
+    walls/bounds checks and the reference message derivation — so every
+    evaluation route produces byte-identical verdict strings.
+    """
+
+    call: ActionCall
+    model: RabitLabModel
+    frame: str
+    exclude: Tuple[str, ...]
+    robot_model: Any
+    held: Optional[str]
+    samples: np.ndarray
+    plan: TrajectoryPlan
+    robot: RobotArmDevice
+
+    def probe_points(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """The three probe families: tool points, gripper tips, vial tips.
+
+        The offsets match the inline sweep exactly; the vial array is
+        ``None`` when RABIT does not believe the arm holds anything."""
+        tips = self.samples - np.array(
+            [0.0, 0.0, self.robot_model.gripper_clearance]
+        )
+        vial_tips = None
+        if self.held is not None:
+            vial_tips = self.samples - np.array(
+                [0.0, 0.0, self.robot_model.held_drop]
+            )
+        return self.samples, tips, vial_tips
+
+
+def finish_sweep(
+    call: ActionCall,
+    samples: np.ndarray,
+    walls: Sequence[Any],
+    bounds: Optional[Any],
+    held: Optional[str],
+    arm_hit: np.ndarray,
+    tip_hit: Optional[np.ndarray],
+    held_hit: Optional[np.ndarray],
+    obst_names: Sequence[str],
+    full_names: Sequence[str],
+) -> Optional[str]:
+    """Walls/bounds checks + first-bad-sample message for a swept job.
+
+    *arm_hit*/*tip_hit*/*held_hit* are ``first_containing`` results for
+    the three probe families; *tip_hit* and *held_hit* may be ``None``
+    (the serve layer's degraded tool-point-only mode skips them — the
+    caller must flag that degradation, never hide it).  Messages and
+    probe precedence (arm, gripper tip, held vial, walls, bounds) are
+    verbatim the scalar reference loop's.
+    """
+    bad = arm_hit >= 0
+    if tip_hit is not None:
+        bad = bad | (tip_hit >= 0)
+    if held_hit is not None:
+        bad = bad | (held_hit >= 0)
+    wall_bad = np.zeros((len(samples), len(walls)), dtype=bool)
+    for j, wall in enumerate(walls):
+        n = np.asarray(wall.normal, dtype=np.float64)
+        wall_bad[:, j] = samples @ n > wall.offset + 1e-9
+    if walls:
+        bad = bad | wall_bad.any(axis=1)
+    if bounds is not None:
+        bounds_bad = ~np.all(
+            (samples >= np.asarray(bounds.lo)) & (samples <= np.asarray(bounds.hi)),
+            axis=1,
+        )
+        bad = bad | bounds_bad
+
+    if not bad.any():
+        return None
+
+    # First failing sample, probes in the reference order: arm,
+    # gripper tip, held vial, walls, bounds — identical messages to
+    # the scalar loop.
+    i = int(np.argmax(bad))
+    if arm_hit[i] >= 0:
+        return (
+            f"simulated trajectory of {call.robot!r}: arm would "
+            f"collide with {obst_names[arm_hit[i]]!r}"
+        )
+    if tip_hit is not None and tip_hit[i] >= 0:
+        return (
+            f"simulated trajectory of {call.robot!r}: gripper would "
+            f"collide with {full_names[tip_hit[i]]!r}"
+        )
+    if held_hit is not None and held_hit[i] >= 0:
+        return (
+            f"simulated trajectory of {call.robot!r}: held vial "
+            f"{held!r} would collide with {full_names[held_hit[i]]!r}"
+        )
+    if walls and wall_bad[i].any():
+        wall = walls[int(np.argmax(wall_bad[i]))]
+        return (
+            f"simulated trajectory of {call.robot!r} crosses "
+            f"software wall {wall.name!r}"
+        )
+    return (
+        f"simulated trajectory of {call.robot!r} leaves the "
+        f"configured workspace"
+    )
+
+
+def build_sweep_engines(
+    model: RabitLabModel, frame: str, exclude: Sequence[str]
+) -> Tuple[BatchCollisionEngine, BatchCollisionEngine]:
+    """The sweep's two packed engines: obstacles-only, obstacles+surfaces.
+
+    Shared between the simulator's per-(frame, exclusions) cache and the
+    serve batcher's per-geometry-group cache, so both evaluate probes
+    against identically constructed cuboid sets."""
+    obstacles = model.obstacles_for_frame(frame, exclude=exclude)
+    surfaces = model.surfaces_for_frame(frame, exclude=exclude)
+    return (
+        BatchCollisionEngine(obstacles),
+        BatchCollisionEngine(list(obstacles) + list(surfaces)),
+    )
 
 
 class ExtendedSimulator:
@@ -131,6 +263,60 @@ class ExtendedSimulator:
         account_held_objects: bool,
     ) -> Optional[str]:
         """Reason the commanded motion would collide, or ``None``."""
+        job = self.prepare_sweep(call, state, model, account_held_objects)
+        if job is None:
+            # Nothing to sweep: the command targets no known arm, or the
+            # controller cannot plan this motion at all (the arm will
+            # skip or raise on its own).
+            return None
+        frame, exclude = job.frame, list(job.exclude)
+        robot_model, held, samples = job.robot_model, job.held, job.samples
+        robot, plan = job.robot, job.plan
+
+        sweep = self._sweep_batch if self.use_batch else self._sweep_scalar
+        if not OBS.enabled:
+            problem = sweep(call, model, frame, exclude, robot_model, held, samples)
+            if problem is None and self.sweep_links:
+                problem = self._sweep_arm_links(call, model, frame, exclude, robot, plan)
+            if TRACE.active:
+                TRACE.stage_trajectory(
+                    path="batch" if self.use_batch else "scalar",
+                    samples=len(samples),
+                    verdict=problem,
+                )
+            return problem
+
+        path = "batch" if self.use_batch else "scalar"
+        _OBS_CHECKS.inc(1, path=path)
+        _OBS_SEGMENTS.inc(float(len(samples)))
+        _OBS_SWEEP_SAMPLES.observe(float(len(samples)))
+        with OBS.span(
+            "es.validate_trajectory", robot=call.robot, label=call.label.value,
+            path=path, samples=len(samples),
+        ) as span:
+            problem = sweep(call, model, frame, exclude, robot_model, held, samples)
+            if problem is None and self.sweep_links:
+                problem = self._sweep_arm_links(call, model, frame, exclude, robot, plan)
+            _OBS_VERDICTS.inc(1, verdict="collision" if problem else "clear")
+            if span is not None:
+                span.set(verdict=problem or "clear")
+        if TRACE.active:
+            TRACE.stage_trajectory(path=path, samples=len(samples), verdict=problem)
+        return problem
+
+    def prepare_sweep(
+        self,
+        call: ActionCall,
+        state: LabState,
+        model: RabitLabModel,
+        account_held_objects: bool,
+    ) -> Optional[SweepJob]:
+        """Plan the motion and package everything a sweep needs.
+
+        Returns ``None`` when there is nothing to sweep (unknown arm, or
+        the controller cannot plan the motion) — the caller must then
+        pass the command through without staging a trajectory verdict,
+        exactly the behaviour of the inline path."""
         if call.robot is None or call.robot not in self._robots:
             return None
         robot = self._robots[call.robot]
@@ -139,8 +325,6 @@ class ExtendedSimulator:
 
         plan = self._plan_for(robot, call)
         if plan is None:
-            # The controller cannot plan this motion at all; there is no
-            # trajectory to sweep (the arm will skip or raise on its own).
             return None
 
         exclude: List[str] = []
@@ -176,36 +360,17 @@ class ExtendedSimulator:
         steps = np.arange(self.RESOLUTION + 1, dtype=np.float64) / self.RESOLUTION
         samples = ee_start[None, :] + (ee_end - ee_start)[None, :] * steps[:, None]
 
-        sweep = self._sweep_batch if self.use_batch else self._sweep_scalar
-        if not OBS.enabled:
-            problem = sweep(call, model, frame, exclude, robot_model, held, samples)
-            if problem is None and self.sweep_links:
-                problem = self._sweep_arm_links(call, model, frame, exclude, robot, plan)
-            if TRACE.active:
-                TRACE.stage_trajectory(
-                    path="batch" if self.use_batch else "scalar",
-                    samples=len(samples),
-                    verdict=problem,
-                )
-            return problem
-
-        path = "batch" if self.use_batch else "scalar"
-        _OBS_CHECKS.inc(1, path=path)
-        _OBS_SEGMENTS.inc(float(len(samples)))
-        _OBS_SWEEP_SAMPLES.observe(float(len(samples)))
-        with OBS.span(
-            "es.validate_trajectory", robot=call.robot, label=call.label.value,
-            path=path, samples=len(samples),
-        ) as span:
-            problem = sweep(call, model, frame, exclude, robot_model, held, samples)
-            if problem is None and self.sweep_links:
-                problem = self._sweep_arm_links(call, model, frame, exclude, robot, plan)
-            _OBS_VERDICTS.inc(1, verdict="collision" if problem else "clear")
-            if span is not None:
-                span.set(verdict=problem or "clear")
-        if TRACE.active:
-            TRACE.stage_trajectory(path=path, samples=len(samples), verdict=problem)
-        return problem
+        return SweepJob(
+            call=call,
+            model=model,
+            frame=frame,
+            exclude=tuple(exclude),
+            robot_model=robot_model,
+            held=held,
+            samples=samples,
+            plan=plan,
+            robot=robot,
+        )
 
     # ------------------------------------------------------------------
     # Batched sweep (the fast path)
@@ -222,8 +387,6 @@ class ExtendedSimulator:
         samples: np.ndarray,
     ) -> Optional[str]:
         obst_engine, full_engine = self._engines_for(model, frame, exclude)
-        walls = model.walls.get(frame, [])
-        bounds = model.workspace_bounds.get(frame)
 
         # One containment matrix per probe family, all samples at once.
         arm_hit = obst_engine.first_containing(samples)
@@ -234,54 +397,17 @@ class ExtendedSimulator:
             vial_tips = samples - np.array([0.0, 0.0, robot_model.held_drop])
             held_hit = full_engine.first_containing(vial_tips)
 
-        bad = (arm_hit >= 0) | (tip_hit >= 0)
-        if held_hit is not None:
-            bad |= held_hit >= 0
-        wall_bad = np.zeros((len(samples), len(walls)), dtype=bool)
-        for j, wall in enumerate(walls):
-            n = np.asarray(wall.normal, dtype=np.float64)
-            wall_bad[:, j] = samples @ n > wall.offset + 1e-9
-        if walls:
-            bad |= wall_bad.any(axis=1)
-        bounds_bad = None
-        if bounds is not None:
-            bounds_bad = ~np.all(
-                (samples >= np.asarray(bounds.lo)) & (samples <= np.asarray(bounds.hi)),
-                axis=1,
-            )
-            bad |= bounds_bad
-
-        if not bad.any():
-            return None
-
-        # First failing sample, probes in the reference order: arm,
-        # gripper tip, held vial, walls, bounds — identical messages to
-        # the scalar loop.
-        i = int(np.argmax(bad))
-        if arm_hit[i] >= 0:
-            return (
-                f"simulated trajectory of {call.robot!r}: arm would "
-                f"collide with {obst_engine.names[arm_hit[i]]!r}"
-            )
-        if tip_hit[i] >= 0:
-            return (
-                f"simulated trajectory of {call.robot!r}: gripper would "
-                f"collide with {full_engine.names[tip_hit[i]]!r}"
-            )
-        if held_hit is not None and held_hit[i] >= 0:
-            return (
-                f"simulated trajectory of {call.robot!r}: held vial "
-                f"{held!r} would collide with {full_engine.names[held_hit[i]]!r}"
-            )
-        if walls and wall_bad[i].any():
-            wall = walls[int(np.argmax(wall_bad[i]))]
-            return (
-                f"simulated trajectory of {call.robot!r} crosses "
-                f"software wall {wall.name!r}"
-            )
-        return (
-            f"simulated trajectory of {call.robot!r} leaves the "
-            f"configured workspace"
+        return finish_sweep(
+            call,
+            samples,
+            model.walls.get(frame, []),
+            model.workspace_bounds.get(frame),
+            held,
+            arm_hit,
+            tip_hit,
+            held_hit,
+            obst_engine.names,
+            full_engine.names,
         )
 
     def _sweep_arm_links(
@@ -349,11 +475,13 @@ class ExtendedSimulator:
             return cached[0], cached[1]
         if OBS.enabled:
             _OBS_ENGINE_CACHE.inc(1, result="miss")
-        obstacles = model.obstacles_for_frame(frame, exclude=exclude)
-        surfaces = model.surfaces_for_frame(frame, exclude=exclude)
-        obst_engine = BatchCollisionEngine(obstacles)
-        full_engine = BatchCollisionEngine(list(obstacles) + list(surfaces))
-        self._engine_cache[key] = (obst_engine, full_engine, revision, len(obstacles))
+        obst_engine, full_engine = build_sweep_engines(model, frame, exclude)
+        self._engine_cache[key] = (
+            obst_engine,
+            full_engine,
+            revision,
+            len(obst_engine),
+        )
         return obst_engine, full_engine
 
     # ------------------------------------------------------------------

@@ -1,0 +1,78 @@
+"""CLI argument hygiene for the worker/session knobs, plus `serve` wiring.
+
+``--workers 0`` used to be a silent alias for "one per CPU"; it now has
+an explicit spelling (``auto``) and non-positive or garbage counts are
+rejected at parse time with exit code 2 — across every subcommand that
+grew the knob (montecarlo, campaign) and the serve front-end's
+``--sessions``/``--queue-size``/``--watermark`` family.
+"""
+
+import argparse
+
+import pytest
+
+from repro.cli import _positive_int, _workers_type, main
+
+
+def _exit_code(argv, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    return excinfo.value.code, capsys.readouterr().err
+
+
+# -- the argparse types -------------------------------------------------------
+
+
+def test_positive_int_accepts_and_rejects():
+    assert _positive_int("3") == 3
+    for bad in ("0", "-1", "four", "1.5", ""):
+        with pytest.raises(argparse.ArgumentTypeError, match="positive integer"):
+            _positive_int(bad)
+
+
+def test_workers_type_maps_auto_to_engine_sentinel():
+    assert _workers_type("auto") == 0
+    assert _workers_type("AUTO") == 0
+    assert _workers_type(" auto ") == 0
+    assert _workers_type("4") == 4
+    for bad in ("0", "-2", "garbage"):
+        with pytest.raises(argparse.ArgumentTypeError, match="or 'auto'"):
+            _workers_type(bad)
+
+
+# -- rejection at the real parser ---------------------------------------------
+
+
+@pytest.mark.parametrize("workers", ["0", "-3", "garbage"])
+@pytest.mark.parametrize("subcommand", ["montecarlo", "campaign"])
+def test_non_positive_workers_exit_2(subcommand, workers, capsys):
+    code, err = _exit_code([subcommand, "--workers", workers], capsys)
+    assert code == 2
+    assert "positive integer or 'auto'" in err
+
+
+def test_non_positive_montecarlo_samples_exit_2(capsys):
+    code, err = _exit_code(["montecarlo", "--samples", "0"], capsys)
+    assert code == 2
+    assert "positive integer" in err
+
+
+@pytest.mark.parametrize(
+    "flag", ["--sessions", "--queue-size", "--watermark", "--max-batch", "--port"]
+)
+def test_serve_rejects_non_positive_counts(flag, capsys):
+    code, err = _exit_code(["serve", flag, "0"], capsys)
+    assert code == 2
+    assert "positive integer" in err
+    code, err = _exit_code(["serve", flag, "-1"], capsys)
+    assert code == 2
+
+
+def test_serve_subcommand_is_wired(capsys):
+    # --help exits 0 and mentions the serve knobs, proving the
+    # subparser exists without starting a server.
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "--sessions" in out and "--socket" in out

@@ -1,0 +1,129 @@
+"""The serve client's bounded-backoff retry decorator.
+
+All timing runs against an injected fake sleep, so the tests pin the
+exact deterministic delay schedule (doubling, capped, seeded jitter)
+without ever waiting, and prove the policy's central safety property:
+only connect/timeout transients are retried — anything else propagates
+on the first attempt.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.retry import RetryPolicy, backoff_delays, retrying
+
+
+def _collecting_sleep(record):
+    async def fake_sleep(delay):
+        record.append(delay)
+
+    return fake_sleep
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Flaky:
+    """Fails with *exc* the first *failures* calls, then succeeds."""
+
+    def __init__(self, exc, failures):
+        self.exc = exc
+        self.failures = failures
+        self.calls = 0
+
+    async def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return "ok"
+
+
+def test_backoff_schedule_doubles_and_caps():
+    policy = RetryPolicy(
+        attempts=6, base_delay=0.1, max_delay=0.5, jitter=0.0, seed=0
+    )
+    assert backoff_delays(policy) == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+
+def test_backoff_schedule_is_deterministic_per_seed():
+    policy = RetryPolicy(attempts=5, jitter=0.25, seed=42)
+    first = backoff_delays(policy)
+    second = backoff_delays(policy)
+    assert first == second
+    # Jitter inflates each delay by at most the jitter amplitude.
+    bare = backoff_delays(RetryPolicy(attempts=5, jitter=0.0, seed=42))
+    for jittered, base in zip(first, bare):
+        assert base <= jittered <= base * 1.25
+    # A different seed decorrelates the schedule.
+    assert backoff_delays(RetryPolicy(attempts=5, jitter=0.25, seed=43)) != first
+
+
+def test_retries_transient_then_succeeds():
+    slept = []
+    policy = RetryPolicy(attempts=4, base_delay=0.05, jitter=0.0)
+    fn = Flaky(ConnectionRefusedError("down"), failures=2)
+    wrapped = retrying(policy, sleep=_collecting_sleep(slept))(fn)
+    assert run(wrapped()) == "ok"
+    assert fn.calls == 3
+    assert slept == pytest.approx(backoff_delays(policy)[:2])
+
+
+def test_timeout_is_transient_too():
+    slept = []
+    fn = Flaky(TimeoutError("slow"), failures=1)
+    wrapped = retrying(RetryPolicy(jitter=0.0), sleep=_collecting_sleep(slept))(fn)
+    assert run(wrapped()) == "ok"
+    assert fn.calls == 2
+
+
+def test_exhaustion_reraises_last_error():
+    slept = []
+    policy = RetryPolicy(attempts=3, base_delay=0.05, jitter=0.0)
+    fn = Flaky(ConnectionResetError("gone"), failures=99)
+    wrapped = retrying(policy, sleep=_collecting_sleep(slept))(fn)
+    with pytest.raises(ConnectionResetError):
+        run(wrapped())
+    assert fn.calls == 3
+    assert slept == pytest.approx(backoff_delays(policy))
+
+
+def test_non_transient_errors_propagate_immediately():
+    slept = []
+    fn = Flaky(ValueError("a bug, not a transient"), failures=99)
+    wrapped = retrying(RetryPolicy(), sleep=_collecting_sleep(slept))(fn)
+    with pytest.raises(ValueError):
+        run(wrapped())
+    assert fn.calls == 1
+    assert slept == []
+
+
+def test_custom_retry_on_extends_the_transient_set():
+    slept = []
+    policy = RetryPolicy(retry_on=(FileNotFoundError,), jitter=0.0)
+    fn = Flaky(FileNotFoundError("socket not there yet"), failures=1)
+    wrapped = retrying(policy, sleep=_collecting_sleep(slept))(fn)
+    assert run(wrapped()) == "ok"
+    assert fn.calls == 2
+
+
+def test_single_attempt_never_sleeps():
+    slept = []
+    fn = Flaky(ConnectionError("down"), failures=99)
+    wrapped = retrying(
+        RetryPolicy(attempts=1), sleep=_collecting_sleep(slept)
+    )(fn)
+    with pytest.raises(ConnectionError):
+        run(wrapped())
+    assert fn.calls == 1
+    assert slept == []
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-0.1)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=-1.0)
