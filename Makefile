@@ -1,6 +1,6 @@
 # Convenience targets for the RABIT reproduction.
 
-.PHONY: install lint test bench fk-bench serve-bench examples campaign latency metrics montecarlo replay check clean
+.PHONY: install lint test bench fk-bench serve-bench examples campaign latency metrics montecarlo replay docs-check check clean
 
 install:
 	pip install -e .[dev]
@@ -53,9 +53,17 @@ montecarlo:
 replay:
 	PYTHONPATH=src python -m repro replay --diff tests/fixtures/traces/*.trace.jsonl
 
+# Docs stay executable: every relative markdown link must resolve and
+# every plain `python -m repro ...` line in README/docs fenced blocks
+# must exit 0 (also a ci_gates.sh step).
+docs-check:
+	bash scripts/check_docs_links.sh
+	bash scripts/check_docs_cmds.sh
+
 # The CI gate: the exact sequence GitHub Actions runs, via the shared
 # script (tier-1 suite, differential harnesses, golden-trace replay,
-# benchmark gates, and the perf-trend regression check).  Local runs
+# benchmark gates, the perf-trend regression check, and the docs
+# link/command checks).  Local runs
 # include the 4-worker parallel differential; 2-core CI runners leave
 # CI_GATES_FULL unset and skip it (the nightly tier covers it).
 check:

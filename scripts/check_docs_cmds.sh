@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Execute every documented CLI command so the docs cannot go stale.
+#
+# Scans fenced ```bash/```sh blocks in README.md and docs/*.md, extracts
+# each plain `python -m repro ...` line, and runs it in a scratch
+# directory (with examples/, tests/, benchmarks/ symlinked in, so
+# repo-relative paths in the docs resolve and artifacts never dirty the
+# working tree).  Conventions the docs follow:
+#
+#   - plain lines are executable and MUST exit 0 (commands run in file
+#     order, so an `export --out f.json` line may feed a later
+#     `run --spec f.json` line);
+#   - `$ `-prefixed lines are illustrative transcripts and are skipped;
+#   - `serve` is denylisted (it runs until killed);
+#   - trailing-backslash continuations are joined before matching.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+ln -s "$ROOT/examples" "$ROOT/tests" "$ROOT/benchmarks" "$WORK/"
+
+python - "$ROOT" README.md docs/*.md <<'EOF' > "$WORK/cmds.txt"
+import re
+import sys
+from pathlib import Path
+
+root = Path(sys.argv[1])
+commands = []
+for name in sys.argv[2:]:
+    lines = (root / name).read_text().splitlines()
+    in_block = False
+    joined = []
+    it = iter(lines)
+    for line in it:
+        fence = re.match(r"^```(\w*)", line)
+        if fence:
+            in_block = not in_block and fence.group(1) in ("bash", "sh")
+            continue
+        if not in_block:
+            continue
+        while line.rstrip().endswith("\\"):
+            line = line.rstrip()[:-1] + " " + next(it, "").strip()
+        cmd = line.strip()
+        if not cmd.startswith("python -m repro"):
+            continue  # comments, transcripts ($ ...), non-repro tools
+        cmd = cmd.split("  #")[0].strip()
+        if cmd.split()[3:4] == ["serve"]:
+            continue  # non-terminating by design
+        commands.append((name, cmd))
+
+for name, cmd in commands:
+    print(f"{name}\t{cmd}")
+EOF
+
+total=0
+while IFS=$'\t' read -r doc cmd; do
+    total=$((total + 1))
+    echo "==> [$doc] $cmd"
+    (cd "$WORK" && eval "$cmd" > /dev/null) || {
+        echo "FAILED [$doc]: $cmd" >&2
+        exit 1
+    }
+done < "$WORK/cmds.txt"
+
+echo "docs-cmds: $total documented commands executed ok"

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Check that every relative markdown link in the repo docs resolves.
+#
+# Scans all tracked *.md files at the repo root plus docs/**.  External
+# links (http/https/mailto) are not fetched; pure-fragment links (#…)
+# are skipped; a fragment on a relative link is stripped before the
+# existence check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+python - *.md docs/*.md <<'EOF'
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+broken = []
+checked = 0
+for name in sys.argv[1:]:
+    path = Path(name)
+    text = path.read_text()
+    # Strip fenced code blocks: link-shaped text inside them is code.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        checked += 1
+        rel = target.split("#", 1)[0]
+        if not (path.parent / rel).exists():
+            broken.append(f"{name}: {target}")
+
+if broken:
+    print("broken relative links:", file=sys.stderr)
+    for entry in broken:
+        print(f"  {entry}", file=sys.stderr)
+    sys.exit(1)
+print(f"docs-links: {checked} relative links resolve")
+EOF

@@ -52,4 +52,8 @@ python -m pytest -q \
 echo "==> perf trend regression gate"
 python benchmarks/check_trend.py
 
+echo "==> docs gates (relative links resolve, documented commands execute)"
+bash scripts/check_docs_links.sh
+bash scripts/check_docs_cmds.sh
+
 echo "==> all CI gates passed"

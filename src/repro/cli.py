@@ -24,7 +24,9 @@ Operational entry points a lab would actually use:
   on mismatch, 2 on a corrupt or unreadable trace);
 - ``serve`` — run the long-lived asyncio guard service multiplexing many
   concurrent lab sessions (unix socket or TCP, newline-delimited
-  canonical JSON; see :mod:`repro.serve`).
+  canonical JSON; see :mod:`repro.serve`);
+- ``workflow`` — list, inspect, run, and export declarative workflow
+  presets (the step-registry/DAG engine of :mod:`repro.workflow`).
 """
 
 from __future__ import annotations
@@ -155,12 +157,14 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         trace_dir=args.trace_dir or None,
+        generator=args.generator,
     )
+    kind = "mutants" if args.generator == "mutant" else "fuzzed workflow DAGs"
     print(format_table(
         ["quantity", "value", "note"],
         montecarlo_rows(report),
         title=(
-            f"Monte Carlo bug study ({args.samples} random mutants, "
+            f"Monte Carlo bug study ({args.samples} random {kind}, "
             f"seed {args.seed}, modified RABIT)"
         ),
     ))
@@ -465,6 +469,131 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workflow_list(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.workflow import PRESETS, REGISTRY
+
+    rows = []
+    for name in sorted(PRESETS):
+        entry = PRESETS[name]
+        dag = entry.build()
+        rows.append(
+            [entry.signature(), dag.deck, str(len(dag.nodes)), entry.description[:52]]
+        )
+    print(format_table(
+        ["preset", "deck", "nodes", "description"], rows, title="Workflow presets"
+    ))
+    if args.steps:
+        step_rows = [
+            [REGISTRY.steps[name].signature(), REGISTRY.steps[name].description[:56]]
+            for name in REGISTRY.list_steps()
+        ]
+        print()
+        print(format_table(
+            ["step", "description"], step_rows, title="Registered steps"
+        ))
+    return 0
+
+
+def _load_workflow(args: argparse.Namespace):
+    """Build the DAG a workflow subcommand names: a preset (plus
+    ``--param`` overrides) or an exported spec file via ``--spec``."""
+    import json
+
+    from repro.workflow import WorkflowDAG, build_preset
+
+    if getattr(args, "spec", ""):
+        if getattr(args, "preset", None):
+            raise SystemExit("error: give a preset name or --spec, not both")
+        return WorkflowDAG.from_spec(json.loads(Path(args.spec).read_text()))
+    if not getattr(args, "preset", None):
+        raise SystemExit("error: name a preset or pass --spec FILE")
+    return build_preset(args.preset, _parse_params(args.param))
+
+
+def _cmd_workflow_show(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workflow import StepError, WorkflowError
+
+    try:
+        dag = _load_workflow(args)
+        dag.validate()
+    except (StepError, WorkflowError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(dag.to_spec(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_workflow_export(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workflow import StepError, WorkflowError
+
+    try:
+        dag = _load_workflow(args)
+        dag.validate()
+    except (StepError, WorkflowError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = dag.spec_bytes() + b"\n"
+    Path(args.out).write_bytes(payload)
+    print(f"exported {dag.name!r} ({len(dag.nodes)} nodes) to {args.out}")
+    return 0
+
+
+def _cmd_workflow_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.report import format_table
+    from repro.workflow import (
+        StepError,
+        WorkflowError,
+        build_context,
+        execute_dag,
+        journal_digest,
+        run_journal,
+    )
+
+    try:
+        dag = _load_workflow(args)
+        ctx = build_context(
+            deck=dag.deck,
+            deck_params=dag.deck_params,
+            prepare=dag.prepare,
+            monitored=not args.unmonitored,
+        )
+        result = execute_dag(dag, ctx)
+    except (StepError, WorkflowError, ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    journal = run_journal(
+        ctx.trace, result.executed_nodes, result.completed,
+        result.alert, result.device_error, result.recovered,
+    )
+    rows = [
+        ["workflow", dag.name],
+        ["deck", dag.deck],
+        ["monitored", "no" if args.unmonitored else "yes (modified RABIT)"],
+        ["completed", "yes" if result.completed else "no"],
+        ["nodes executed", f"{len(result.executed_nodes)}/{len(dag.nodes)}"],
+        ["commands traced", str(len(ctx.trace))],
+        ["alert", str(result.alert) if result.alert else "-"],
+        ["device error", result.device_error or "-"],
+        ["recovered", "yes" if result.recovered else "no"],
+        ["journal digest", journal_digest(journal)],
+    ]
+    print(format_table(["field", "value"], rows, title=f"Workflow run: {dag.name}"))
+    if args.journal:
+        with Path(args.journal).open("wb") as fh:
+            from repro.trace.canon import canonical_bytes
+
+            fh.write(canonical_bytes(journal) + b"\n")
+        print(f"wrote journal to {args.journal}")
+    return 0 if result.completed else 1
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     from repro.simulator.render import render_topdown
 
@@ -541,6 +670,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default="", dest="trace_dir",
         help="dump a replayable run trace for every misclassified mutant here",
     )
+    p.add_argument(
+        "--generator", default="mutant", choices=["mutant", "dag"],
+        help="case source: single-edit mutants of the Fig. 5 script, or "
+             "whole random workflow DAGs from the step registry",
+    )
     p.set_defaults(fn=_cmd_montecarlo)
 
     p = sub.add_parser("latency", help="run the latency-overhead experiment")
@@ -589,6 +723,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=_cmd_serve)
 
+    p = sub.add_parser(
+        "workflow",
+        help="list, inspect, run, and export declarative workflow presets",
+    )
+    wf = p.add_subparsers(dest="workflow_command", required=True)
+
+    w = wf.add_parser("list", help="list registered presets (and steps)")
+    w.add_argument(
+        "--steps", action="store_true",
+        help="also print the step catalog with typed signatures",
+    )
+    w.set_defaults(fn=_cmd_workflow_list)
+
+    w = wf.add_parser("show", help="print a workflow's JSON spec")
+    w.add_argument("preset", nargs="?", default="", help="preset name")
+    w.add_argument("--spec", default="", help="load an exported spec file instead")
+    w.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="preset parameter (repeatable); e.g. --param dissolution_rounds=3",
+    )
+    w.set_defaults(fn=_cmd_workflow_show)
+
+    w = wf.add_parser(
+        "run", help="execute a workflow through the guarded pipeline"
+    )
+    w.add_argument("preset", nargs="?", default="", help="preset name")
+    w.add_argument("--spec", default="", help="run an exported spec file instead")
+    w.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="preset parameter (repeatable)",
+    )
+    w.add_argument(
+        "--unmonitored", action="store_true",
+        help="run without the monitor (ground-truth leg; traces only)",
+    )
+    w.add_argument(
+        "--journal", default="",
+        help="optional path for the canonical run journal (JSON)",
+    )
+    w.set_defaults(fn=_cmd_workflow_run)
+
+    w = wf.add_parser("export", help="write a workflow's canonical spec")
+    w.add_argument("preset", nargs="?", default="", help="preset name")
+    w.add_argument("--spec", default="", help="re-export an existing spec file")
+    w.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="preset parameter (repeatable)",
+    )
+    w.add_argument(
+        "--out", default="workflow.spec.json", help="spec output path"
+    )
+    w.set_defaults(fn=_cmd_workflow_export)
+
     p = sub.add_parser("render", help="print a top-down view of a deck")
     p.add_argument(
         "--lab", default="hein", choices=["hein", "berlinguette", "testbed"],
@@ -627,7 +814,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workload", default="solubility",
         help="registered workload name (e.g. solubility, testbed, multi_door, "
-             "mutant, bug)",
+             "mutant, bug, workflow, fuzz)",
     )
     p.add_argument(
         "--param", action="append", default=[], metavar="KEY=VALUE",

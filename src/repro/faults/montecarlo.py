@@ -266,24 +266,47 @@ def run_monte_carlo(
     seed: int = 2024,
     workers: Optional[int] = 1,
     trace_dir: Optional[str] = None,
+    generator: str = "mutant",
 ) -> MonteCarloReport:
-    """Sample *samples* mutants; score each against ground truth.
+    """Sample *samples* cases; score each against ground truth.
 
-    Each mutant runs twice: once unmonitored (ground truth — is the edit
+    *generator* picks the case source: ``"mutant"`` (the default)
+    samples random single-edit mutations of the hardcoded Fig. 5 script;
+    ``"dag"`` composes whole random workflows from the step registry
+    (:func:`repro.workflow.fuzz.score_dag`) — same seeds, same confusion
+    matrix, same sharding.
+
+    Each case runs twice: once unmonitored (ground truth — is it
     actually harmful?) and once under modified RABIT (the verdict).
     Deterministic under *seed* for every *workers* value: ``workers > 1``
     shards the sweep over a process pool (``None`` means one worker per
     CPU), and the merged report is identical to the sequential one.
 
-    With *trace_dir* set, every *failed* mutant — a false negative or a
+    With *trace_dir* set, every *failed* case — a false negative or a
     false positive — auto-dumps a replayable run trace of its monitored
-    leg there (recorded parent-side after the sweep; mutant runs are
+    leg there (recorded parent-side after the sweep; case runs are
     pure functions of ``(seed, index)``, so the re-recorded trace is
     exactly what the sweep executed).
     """
     from repro.parallel.engine import resolve_workers
 
-    if resolve_workers(workers, samples) > 1:
+    if generator not in ("mutant", "dag"):
+        raise ValueError(
+            f"unknown generator {generator!r}; use 'mutant' or 'dag'"
+        )
+    sharded = resolve_workers(workers, samples) > 1
+    if generator == "dag":
+        if sharded:
+            from repro.parallel.runners import run_dag_fuzz_sharded
+
+            report = run_dag_fuzz_sharded(samples=samples, seed=seed, workers=workers)
+        else:
+            from repro.workflow.fuzz import score_dag
+
+            report = MonteCarloReport()
+            for index in range(samples):
+                report.outcomes.append(score_dag(index, seed))
+    elif sharded:
         from repro.parallel.runners import run_monte_carlo_sharded
 
         report = run_monte_carlo_sharded(samples=samples, seed=seed, workers=workers)
@@ -293,7 +316,12 @@ def run_monte_carlo(
         for index in range(samples):
             report.outcomes.append(score_mutant(index, seed, line_ids))
     if trace_dir is not None:
-        from repro.trace.workloads import dump_failed_mutant_traces
+        if generator == "dag":
+            from repro.trace.workloads import dump_failed_dag_traces
 
-        dump_failed_mutant_traces(report, seed, trace_dir)
+            dump_failed_dag_traces(report, seed, trace_dir)
+        else:
+            from repro.trace.workloads import dump_failed_mutant_traces
+
+            dump_failed_mutant_traces(report, seed, trace_dir)
     return report

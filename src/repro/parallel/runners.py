@@ -34,6 +34,7 @@ from repro.parallel.engine import run_sharded
 
 __all__ = [
     "run_monte_carlo_sharded",
+    "run_dag_fuzz_sharded",
     "run_campaign_sharded",
     "run_bug_matrix",
 ]
@@ -69,6 +70,30 @@ def run_monte_carlo_sharded(
         workers=workers,
         kind="montecarlo",
         initializer=_warm_montecarlo_worker,
+    )
+    return MonteCarloReport(outcomes=list(outcomes))
+
+
+def _dag_task(task: Tuple[int, int]) -> MutantOutcome:
+    base_seed, index = task
+    from repro.workflow.fuzz import score_dag
+
+    return score_dag(index, base_seed)
+
+
+def run_dag_fuzz_sharded(
+    samples: int, seed: int, workers: Optional[int]
+) -> MonteCarloReport:
+    """The random-DAG fuzz sweep fanned over a process pool.
+
+    Same exact-merge guarantee as the mutant sweep: case *i* is
+    :func:`repro.workflow.fuzz.score_dag`\\ ``(i, seed)`` regardless of
+    worker count or completion order."""
+    outcomes = run_sharded(
+        [(seed, index) for index in range(samples)],
+        _dag_task,
+        workers=workers,
+        kind="montecarlo",
     )
     return MonteCarloReport(outcomes=list(outcomes))
 

@@ -17,7 +17,12 @@ Registered workloads:
 - ``mutant`` — the monitored leg of Monte Carlo mutant
   ``(params: seed, index)``, a pure function of the pair;
 - ``bug`` — one campaign bug under one configuration
-  (``params: bug_id, config``).
+  (``params: bug_id, config``);
+- ``workflow`` — a declarative workflow preset run through the DAG
+  executor (``params: preset`` plus any preset parameters, or
+  ``spec`` = path to an exported spec file);
+- ``fuzz`` — the monitored leg of random-DAG fuzz case
+  ``(params: seed, index)``, a pure function of the pair.
 """
 
 from __future__ import annotations
@@ -190,6 +195,84 @@ def _run_bug(params: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+@_workload("workflow")
+def _run_workflow(params: Dict[str, Any]) -> Dict[str, Any]:
+    """A declarative workflow run: a named preset (plus preset
+    parameters), or ``spec`` = path to an exported spec file.  The
+    footer carries the canonical journal digest, so replay equality
+    covers the full command stream end to end."""
+    import json
+
+    from repro.core.monitor import RabitOptions
+    from repro.workflow import (
+        WorkflowDAG,
+        build_context,
+        execute_dag,
+        journal_digest,
+        run_journal,
+    )
+
+    remaining = dict(params)
+    remaining.pop("dispatch", None)
+    options = RabitOptions.modified(compiled_dispatch=_compiled(params))
+    spec_path = remaining.pop("spec", None)
+    if spec_path is not None:
+        if remaining.pop("preset", None) is not None:
+            raise KeyError("workflow workload takes 'preset' or 'spec', not both")
+        dag = WorkflowDAG.from_spec(json.loads(Path(spec_path).read_text()))
+        if remaining:
+            raise KeyError(
+                f"spec runs take no extra parameters, got {sorted(remaining)}"
+            )
+    else:
+        from repro.workflow import build_preset
+
+        name = str(remaining.pop("preset", "solubility"))
+        dag = build_preset(name, remaining)
+    ctx = build_context(
+        deck=dag.deck,
+        deck_params=dag.deck_params,
+        prepare=dag.prepare,
+        options=options,
+    )
+    _bind_obs(ctx.rabit)
+    result = execute_dag(dag, ctx)
+    journal = run_journal(
+        ctx.trace,
+        result.executed_nodes,
+        result.completed,
+        result.alert,
+        result.device_error,
+        result.recovered,
+    )
+    outcome = _result_outcome(result, len(ctx.trace))
+    outcome["workflow"] = dag.name
+    outcome["recovered"] = result.recovered
+    outcome["journal_digest"] = journal_digest(journal)
+    return outcome
+
+
+@_workload("fuzz")
+def _run_fuzz(params: Dict[str, Any]) -> Dict[str, Any]:
+    """The monitored leg of random-DAG fuzz case ``(seed, index)`` —
+    pure in the pair, like the ``mutant`` workload."""
+    from repro.core.monitor import RabitOptions
+    from repro.workflow import build_context, execute_dag, random_dag
+
+    seed, index = int(params["seed"]), int(params["index"])
+    dag = random_dag(seed, index)
+    ctx = build_context(
+        deck=dag.deck,
+        options=RabitOptions.modified(compiled_dispatch=_compiled(params)),
+    )
+    _bind_obs(ctx.rabit)
+    result = execute_dag(dag, ctx)
+    outcome = _result_outcome(result, len(ctx.trace))
+    outcome["workflow"] = dag.name
+    outcome["detected"] = result.stopped_by_rabit
+    return outcome
+
+
 def record_workload(
     name: str, params: Optional[Dict[str, Any]] = None, obs: bool = False
 ) -> RunTrace:
@@ -246,6 +329,26 @@ def dump_failed_mutant_traces(report: Any, seed: int, trace_dir: str) -> List[Pa
             continue  # the run itself crashed; there is nothing to replay
         trace = record_workload("mutant", {"seed": seed, "index": outcome.seed})
         path = directory / f"mutant-s{seed}-i{outcome.seed}.trace.jsonl"
+        trace.write_jsonl(path)
+        written.append(path)
+    return written
+
+
+def dump_failed_dag_traces(report: Any, seed: int, trace_dir: str) -> List[Path]:
+    """Record and persist a trace for every misclassified random-DAG
+    fuzz case (the ``generator="dag"`` analogue of
+    :func:`dump_failed_mutant_traces`); files are named
+    ``fuzz-s<seed>-i<index>.trace.jsonl``."""
+    directory = Path(trace_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for outcome in report.outcomes:
+        if outcome.classification not in ("false_negative", "false_positive"):
+            continue
+        if "harness_error" in outcome.damage_kinds:
+            continue  # the run itself crashed; there is nothing to replay
+        trace = record_workload("fuzz", {"seed": seed, "index": outcome.seed})
+        path = directory / f"fuzz-s{seed}-i{outcome.seed}.trace.jsonl"
         trace.write_jsonl(path)
         written.append(path)
     return written

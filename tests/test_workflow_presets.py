@@ -1,0 +1,270 @@
+"""Differential suite: every legacy hardcoded workflow vs. its registry
+preset, pinned **byte-identical** at the journal level.
+
+Both legs render through :func:`repro.workflow.journal.run_journal` and
+compare via canonical bytes, so agreement means the same commands with
+the same positional args, the same virtual-clock timestamps, the same
+action labels and resolved locations, the same alerts, and the same
+executed line/node ids — not merely "similar outcomes".
+"""
+
+import pytest
+
+from repro.core.monitor import RabitOptions
+from repro.faults.mutation import DeleteLine, InsertAfter, apply_mutations
+from repro.lab.workflows import ScriptLine, run_workflow
+from repro.workflow import (
+    PRESETS,
+    build_preset,
+    journal_bytes,
+    preset_matrix,
+    run_journal,
+    run_preset,
+)
+
+
+def _legacy_bytes(trace, result) -> bytes:
+    return journal_bytes(
+        run_journal(
+            trace,
+            result.executed_lines,
+            result.completed,
+            result.alert,
+            result.device_error,
+        )
+    )
+
+
+def _preset_bytes(name, params=None):
+    dag, ctx, result = run_preset(name, params)
+    data = journal_bytes(
+        run_journal(
+            ctx.trace,
+            result.executed_nodes,
+            result.completed,
+            result.alert,
+            result.device_error,
+            result.recovered,
+        )
+    )
+    return data, result
+
+
+# ---------------------------------------------------------------------------
+# Hein production workflows
+# ---------------------------------------------------------------------------
+
+
+def _hein_legacy(build_lines, **kwargs):
+    from repro.lab.hein import build_hein_deck, make_hein_rabit
+
+    deck = build_hein_deck()
+    _, proxies, trace = make_hein_rabit(deck, options=RabitOptions.modified())
+    result = run_workflow(build_lines(proxies, **kwargs))
+    return _legacy_bytes(trace, result), result
+
+
+class TestHeinPresets:
+    def test_solubility_defaults(self):
+        from repro.lab.workflows import build_solubility_workflow
+
+        legacy, legacy_res = _hein_legacy(build_solubility_workflow)
+        mine, res = _preset_bytes("solubility")
+        assert legacy_res.completed and res.completed
+        assert mine == legacy
+
+    def test_solubility_parameterized(self):
+        from repro.lab.workflows import build_solubility_workflow
+
+        params = {
+            "amount_mg": 3.0,
+            "initial_solvent_ml": 2.0,
+            "temperature": 40.0,
+            "dissolution_rounds": 3,
+            "centrifuge_rpm": 2000.0,
+        }
+        legacy, _ = _hein_legacy(build_solubility_workflow, **params)
+        mine, res = _preset_bytes("solubility", params)
+        assert res.completed
+        assert mine == legacy
+
+    def test_crystallization_defaults(self):
+        from repro.lab.workflows import build_crystallization_workflow
+
+        legacy, _ = _hein_legacy(build_crystallization_workflow)
+        mine, res = _preset_bytes("crystallization")
+        assert res.completed
+        assert mine == legacy
+
+    def test_crystallization_parameterized(self):
+        from repro.lab.workflows import build_crystallization_workflow
+
+        params = {"amount_mg": 2.0, "solvent_ml": 2.0, "shake_rpm": 600.0}
+        legacy, _ = _hein_legacy(build_crystallization_workflow, **params)
+        mine, _ = _preset_bytes("crystallization", params)
+        assert mine == legacy
+
+
+# ---------------------------------------------------------------------------
+# Berlinguette spray coating
+# ---------------------------------------------------------------------------
+
+
+class TestSprayCoatingPreset:
+    @pytest.mark.parametrize("solvent_only", [False, True])
+    def test_spray_coating(self, solvent_only):
+        from repro.lab.berlinguette import (
+            build_berlinguette_deck,
+            build_spray_coating_workflow,
+            make_berlinguette_rabit,
+        )
+
+        deck = build_berlinguette_deck()
+        _, proxies, trace = make_berlinguette_rabit(
+            deck, options=RabitOptions.modified()
+        )
+        result = run_workflow(
+            build_spray_coating_workflow(proxies, solvent_only=solvent_only)
+        )
+        legacy = _legacy_bytes(trace, result)
+        mine, res = _preset_bytes("spray_coating", {"solvent_only": solvent_only})
+        assert res.completed == result.completed
+        assert mine == legacy
+
+
+# ---------------------------------------------------------------------------
+# Testbed Fig. 5 and the Bug A/B/C variants (DAG surgery vs. apply_mutations)
+# ---------------------------------------------------------------------------
+
+
+def _testbed_legacy(mutations_for=None):
+    from repro.lab.workflows import build_testbed_workflow
+    from repro.testbed.deck import build_testbed_deck, make_testbed_rabit
+
+    deck = build_testbed_deck(noise_sigma=0.003)
+    _, proxies, trace = make_testbed_rabit(deck, options=RabitOptions.modified())
+    lines = build_testbed_workflow(proxies)
+    if mutations_for is not None:
+        lines = apply_mutations(lines, deck.world, mutations_for(proxies))
+    result = run_workflow(lines)
+    return _legacy_bytes(trace, result), result
+
+
+class TestTestbedPresets:
+    def test_fig5_safe(self):
+        legacy, legacy_res = _testbed_legacy()
+        mine, res = _preset_bytes("testbed_fig5")
+        assert legacy_res.completed and res.completed
+        assert mine == legacy
+
+    def test_bug_a_door_deleted(self):
+        """Bug A (campaign H1): detected — both legs stop on the same alert."""
+        legacy, legacy_res = _testbed_legacy(
+            lambda px: [DeleteLine("open_door_after_dose")]
+        )
+        mine, res = _preset_bytes("testbed_bug_a")
+        assert legacy_res.stopped_by_rabit and res.stopped_by_rabit
+        assert not res.completed
+        assert mine == legacy
+
+    def test_bug_b_stray_ned2_move(self):
+        """Bug B (campaign MH4): completes undetected, as in the paper."""
+
+        def mutations(px):
+            ned2 = px["ned2"]
+            return [
+                InsertAfter(
+                    "place_grid",
+                    (
+                        ScriptLine(
+                            "ned2_random_move",
+                            "ned2.move_pose(random_location)",
+                            lambda: ned2.move_pose([0.365, -0.010, 0.192]),
+                        ),
+                    ),
+                )
+            ]
+
+        legacy, legacy_res = _testbed_legacy(mutations)
+        mine, res = _preset_bytes("testbed_bug_b")
+        assert legacy_res.completed and res.completed  # undetected
+        assert mine == legacy
+
+    def test_bug_c_pick_deleted(self):
+        """Bug C (campaign L2): completes undetected (no pressure sensor)."""
+        legacy, legacy_res = _testbed_legacy(lambda px: [DeleteLine("pick_grid")])
+        mine, res = _preset_bytes("testbed_bug_c")
+        assert legacy_res.completed and res.completed
+        assert mine == legacy
+
+    @pytest.mark.parametrize("spin_rpm", [3000.0, 2000.0])
+    def test_centrifuge(self, spin_rpm):
+        """The prepared-vial leg: declarative ``prepare`` must reproduce
+        the hand-poked vial state byte-for-byte (seeded tracking included)."""
+        from repro.lab.workflows import build_centrifuge_workflow
+        from repro.testbed.deck import build_testbed_deck, make_testbed_rabit
+
+        deck = build_testbed_deck(noise_sigma=0.003)
+        vial = deck.vials["vial_t1"]
+        vial.decap_vial()
+        vial.contents.solid_mg = 5.0
+        vial.contents.liquid_ml = 5.0
+        _, proxies, trace = make_testbed_rabit(deck, options=RabitOptions.modified())
+        result = run_workflow(build_centrifuge_workflow(proxies, spin_rpm=spin_rpm))
+        legacy = _legacy_bytes(trace, result)
+        mine, res = _preset_bytes("centrifuge", {"spin_rpm": spin_rpm})
+        assert res.completed == result.completed
+        assert mine == legacy
+
+
+# ---------------------------------------------------------------------------
+# Two-door lab
+# ---------------------------------------------------------------------------
+
+
+class TestTwoDoorPreset:
+    @pytest.mark.parametrize("amount_mg", [3.0, 2.0])
+    def test_two_door(self, amount_mg):
+        from repro.lab.two_door import (
+            build_two_door_deck,
+            build_two_door_workflow,
+            make_two_door_rabit,
+        )
+
+        deck = build_two_door_deck()
+        _, proxies, trace = make_two_door_rabit(deck, options=RabitOptions.modified())
+        result = run_workflow(build_two_door_workflow(proxies, amount_mg=amount_mg))
+        legacy = _legacy_bytes(trace, result)
+        mine, res = _preset_bytes("two_door", {"amount_mg": amount_mg})
+        assert res.completed and result.completed
+        assert mine == legacy
+
+
+# ---------------------------------------------------------------------------
+# The parameterized preset matrix
+# ---------------------------------------------------------------------------
+
+
+class TestPresetMatrix:
+    def test_every_entry_builds_a_valid_dag(self):
+        matrix = preset_matrix()
+        assert len(matrix) >= 15
+        for name, params in matrix:
+            dag = build_preset(name, params)
+            dag.validate()  # raises on any structural or binding error
+            assert len(dag.nodes) > 0
+
+    def test_matrix_covers_every_safe_preset(self):
+        covered = {name for name, _ in preset_matrix()}
+        bug_variants = {"testbed_bug_a", "testbed_bug_b", "testbed_bug_c"}
+        assert covered == set(PRESETS) - bug_variants
+
+    def test_parameterization_changes_the_dag(self):
+        base = build_preset("solubility", {"dissolution_rounds": 1})
+        more = build_preset("solubility", {"dissolution_rounds": 3})
+        assert len(more.nodes) == len(base.nodes) + 6  # 3 nodes per round
+
+    def test_one_matrix_entry_runs_clean(self):
+        """One cheap end-to-end spot check (the full matrix runs nightly)."""
+        _, res = _preset_bytes("two_door", {"amount_mg": 2.0})
+        assert res.completed and res.alert is None
