@@ -1,6 +1,6 @@
 # Convenience targets for the RABIT reproduction.
 
-.PHONY: install lint test bench fk-bench serve-bench examples campaign latency metrics montecarlo replay docs-check check clean
+.PHONY: install lint test bench fk-bench serve-bench shard-bench shard-soak examples campaign latency metrics montecarlo replay docs-check check clean
 
 install:
 	pip install -e .[dev]
@@ -27,6 +27,14 @@ fk-bench:
 # Multi-session guard-service throughput (K=8 vs sequential, hard 3x gate).
 serve-bench:
 	PYTHONPATH=src python -m pytest benchmarks/test_serve_throughput.py
+
+# Sharded-service scale-out (N=2 vs N=1 workers; gates on >= 4 cores).
+shard-bench:
+	PYTHONPATH=src python -m pytest benchmarks/test_shard_throughput.py
+
+# Sharded-service soak: merged cross-worker stats must balance exactly.
+shard-soak:
+	python scripts/shard_soak.py
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,193 @@
+"""Sharded-service throughput: N worker processes vs one.
+
+One :class:`GuardServer` event loop tops out at roughly one CPU of
+guard work; the shard layer's pitch is that N forked workers behind the
+router turn that ceiling into ~N CPUs without changing a single verdict
+byte.  This benchmark measures three configurations under the same load
+(K concurrent sessions, the serve benchmark's 15 ms modeled device I/O,
+the ``hein_lean`` deck, sessions pinned round-robin so the spread is
+exact):
+
+1. the single-process service (the PR 7 baseline path, no router);
+2. the sharded service with N=1 — same worker count, but every frame
+   now crosses the router pipe and a process boundary, so this isolates
+   the router's tax;
+3. the sharded service with N=2 — the scale-out claim itself.
+
+Gates (multi-core runners only — below ``GATE_MIN_CPUS`` cores the
+record is stamped ``"gated": false`` and :mod:`benchmarks.check_trend`
+skips it, the montecarlo precedent for starved runners):
+
+- N=2 must clear ``MIN_SPEEDUP`` x the N=1 sharded rate, and
+- N=1 sharded must hold ``MAX_ROUTER_TAX`` of the single-process rate
+  (the router pipe must be cheap, not just the sharding worth it).
+"""
+
+import asyncio
+import os
+import tempfile
+import time
+
+from repro.analysis.report import format_table
+from repro.serve.client import ServeClient
+from repro.serve.server import GuardServer
+from repro.serve.shard import ShardConfig, ShardService
+
+IO_LATENCY = 0.015
+DECK = "hein_lean"
+SESSIONS = 8
+WARMUP_COMMANDS = 4
+COMMANDS_PER_SESSION = 20
+MIN_SPEEDUP = 1.6
+MAX_ROUTER_TAX = 0.9  # N=1 sharded >= 90% of the single-process rate
+GATE_MIN_CPUS = 4
+
+COMMANDS = [
+    ("go_to_home_pose", ()),
+    ("move_to_location", ("grid_a1_safe",)),
+]
+
+
+async def _drive(client: ServeClient, count: int) -> None:
+    for i in range(count):
+        method, args = COMMANDS[i % len(COMMANDS)]
+        response = await client.command("ur3e", method, *args)
+        assert response["ok"], response
+
+
+async def _run_clients(open_client) -> float:
+    """Aggregate guarded commands/sec for K sessions via *open_client*."""
+    clients = []
+    for i in range(SESSIONS):
+        clients.append(await open_client(i))
+    try:
+        await asyncio.gather(*[_drive(c, WARMUP_COMMANDS) for c in clients])
+        t0 = time.perf_counter()
+        await asyncio.gather(
+            *[_drive(c, COMMANDS_PER_SESSION) for c in clients]
+        )
+        wall = time.perf_counter() - t0
+    finally:
+        for client in clients:
+            await client.close()
+    return SESSIONS * COMMANDS_PER_SESSION / wall
+
+
+async def _single_process_rate() -> float:
+    server = GuardServer(max_sessions=SESSIONS)
+    path = os.path.join(tempfile.mkdtemp(prefix="rabit-shard-bench-"), "g.sock")
+    await server.start_unix(path)
+    try:
+
+        async def open_client(_i: int) -> ServeClient:
+            client = await ServeClient.open_unix(path)
+            await client.open_session(deck=DECK, io_latency=IO_LATENCY)
+            return client
+
+        return await _run_clients(open_client)
+    finally:
+        await server.stop()
+
+
+async def _sharded_rate(workers: int) -> tuple:
+    service = ShardService(
+        ShardConfig(workers=workers, max_sessions=SESSIONS)
+    )
+    await service.start()
+    try:
+
+        async def open_client(i: int) -> ServeClient:
+            client = await ServeClient.open_tcp(
+                service.config.host, service.config.port
+            )
+            # Pinned round-robin: the spread across workers is exact, so
+            # the measurement never depends on key-hash luck.
+            await client.open_session(
+                deck=DECK, io_latency=IO_LATENCY, worker=i % workers
+            )
+            return client
+
+        rate = await _run_clients(open_client)
+        merged = await service.merged_stats()
+        return rate, merged
+    finally:
+        await service.stop()
+
+
+def test_shard_throughput(emit, trend, benchmark):
+    single_rate = asyncio.run(_single_process_rate())
+    one_rate, one_stats = asyncio.run(_sharded_rate(1))
+    two_rate, two_stats = asyncio.run(_sharded_rate(2))
+
+    speedup = two_rate / one_rate
+    router_ratio = one_rate / single_rate
+    cpus = os.cpu_count() or 1
+    gated = cpus >= GATE_MIN_CPUS
+
+    total = SESSIONS * (WARMUP_COMMANDS + COMMANDS_PER_SESSION)
+    # Determinism-of-merge sanity: every command accounted for once.
+    for stats in (one_stats, two_stats):
+        assert stats["totals"]["commands"] == total, stats
+        assert stats["totals"]["sessions_opened"] == SESSIONS
+    per_worker = [p["commands"] for p in two_stats["per_worker"]]
+    assert per_worker == [total // 2, total // 2], per_worker
+
+    rows = [
+        ["single-process", f"{single_rate:.1f}", "1.00x", "-"],
+        [
+            "sharded N=1",
+            f"{one_rate:.1f}",
+            f"{router_ratio:.2f}x",
+            "router tax",
+        ],
+        [
+            "sharded N=2",
+            f"{two_rate:.1f}",
+            f"{two_rate / single_rate:.2f}x",
+            f"{speedup:.2f}x vs N=1",
+        ],
+    ]
+    rendered = format_table(
+        ["configuration", "guarded cmds/s", "vs single", "notes"],
+        rows,
+        title=(
+            f"Sharded-service throughput (K={SESSIONS} sessions, {DECK} deck, "
+            f"{IO_LATENCY * 1e3:.0f} ms modeled device I/O, {cpus} CPUs; "
+            f"gate {'ON' if gated else 'off: <' + str(GATE_MIN_CPUS) + ' cores'})"
+        ),
+    )
+    emit("shard_throughput", rendered)
+    trend(
+        "shard_throughput",
+        {
+            "sessions": SESSIONS,
+            "io_latency_ms": IO_LATENCY * 1e3,
+            "cpus": cpus,
+            "single_process_cmds_per_s": round(single_rate, 1),
+            "shard1_cmds_per_s": round(one_rate, 1),
+            "shard2_cmds_per_s": round(two_rate, 1),
+            "speedup_vs_one_worker": round(speedup, 2),
+            "router_throughput_ratio": round(router_ratio, 2),
+            "gated": gated,
+        },
+    )
+
+    if gated:
+        assert speedup >= MIN_SPEEDUP, (
+            f"N=2 sharded service only {speedup:.2f}x the N=1 rate on "
+            f"{cpus} cores (required: {MIN_SPEEDUP}x)"
+        )
+        assert router_ratio >= MAX_ROUTER_TAX, (
+            f"router pipe costs too much: N=1 sharded at {router_ratio:.2f}x "
+            f"the single-process rate (floor: {MAX_ROUTER_TAX}x)"
+        )
+
+    # Timed kernel for pytest-benchmark comparability: one short sharded
+    # burst end to end (fork, route, guard, merge, teardown).
+    benchmark.pedantic(
+        lambda: asyncio.run(_sharded_rate(2)), rounds=1, iterations=1
+    )
+    benchmark.extra_info["speedup_vs_one_worker"] = round(speedup, 2)
+    benchmark.extra_info["router_throughput_ratio"] = round(router_ratio, 2)
+    benchmark.extra_info["cpus"] = cpus
+    benchmark.extra_info["gated"] = gated

@@ -26,7 +26,8 @@ python -m pytest -q \
     tests/test_kinematics_differential.py \
     tests/test_stateful_no_false_positives.py \
     tests/test_obs_differential.py \
-    tests/test_compiled_differential.py
+    tests/test_compiled_differential.py \
+    tests/test_serve_differential.py
 
 if [ "${CI_GATES_FULL:-0}" = "1" ]; then
     echo "==> parallel-vs-sequential differential (full, incl. 4-worker pool)"
@@ -47,7 +48,8 @@ python -m pytest -q \
     benchmarks/test_obs_overhead.py \
     benchmarks/test_cold_guard_latency.py \
     benchmarks/test_montecarlo_throughput.py \
-    benchmarks/test_serve_throughput.py
+    benchmarks/test_serve_throughput.py \
+    benchmarks/test_shard_throughput.py
 
 echo "==> perf trend regression gate"
 python benchmarks/check_trend.py

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Sharded-service soak: K sessions across N workers, books balanced.
+
+The nightly tier runs this harder than any unit test can afford: many
+concurrent sessions spread across a real forked worker fleet, every
+session driving a full command script, and at the end one question —
+did the deterministic cross-worker merge account for *exactly* the work
+that was issued?  Lost updates, double counts, or a worker silently
+dropping sessions all show up as a totals mismatch here long before
+they would corrupt an operator's dashboard.
+
+Checks (exit 1 on any failure):
+
+- every session's journal has one entry per issued command;
+- merged ``totals.commands``  == sessions x commands issued;
+- merged ``totals.sessions_opened`` == sessions;
+- the per-worker breakdown sums to the totals (the merge invariant);
+- every worker stayed alive (no silent respawn during the soak).
+
+Usage::
+
+    python scripts/shard_soak.py --sessions 12 --workers 3 --commands 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.shard import ShardConfig, ShardService  # noqa: E402
+
+COMMANDS = [
+    ("go_to_home_pose", ()),
+    ("move_to_location", ("grid_a1_safe",)),
+]
+
+
+async def _drive(host: str, port: int, key: str, commands: int) -> int:
+    client = await ServeClient.open_tcp(host, port)
+    await client.open_session(deck="hein_lean", key=key)
+    for i in range(commands):
+        method, args = COMMANDS[i % len(COMMANDS)]
+        response = await client.command("ur3e", method, *args)
+        assert response["ok"], response
+    journal = await client.journal()
+    await client.close()
+    return len(journal)
+
+
+async def soak(args: argparse.Namespace) -> int:
+    service = ShardService(
+        ShardConfig(
+            workers=args.workers,
+            max_sessions=args.sessions,
+            default_io_latency=args.io_latency,
+        )
+    )
+    await service.start()
+    failures = []
+    try:
+        journal_lengths = await asyncio.gather(
+            *[
+                _drive(
+                    service.config.host,
+                    service.config.port,
+                    f"soak-{i}",
+                    args.commands,
+                )
+                for i in range(args.sessions)
+            ]
+        )
+        for i, length in enumerate(journal_lengths):
+            if length != args.commands:
+                failures.append(
+                    f"session soak-{i}: journal has {length} entries, "
+                    f"expected {args.commands}"
+                )
+
+        merged = await service.merged_stats()
+        issued = args.sessions * args.commands
+        totals = merged["totals"]
+        if totals.get("commands") != issued:
+            failures.append(
+                f"merged commands {totals.get('commands')} != issued {issued}"
+            )
+        if totals.get("sessions_opened") != args.sessions:
+            failures.append(
+                f"merged sessions_opened {totals.get('sessions_opened')} "
+                f"!= {args.sessions}"
+            )
+        per_worker = [p for p in merged["per_worker"] if p is not None]
+        if len(per_worker) != args.workers:
+            failures.append(
+                f"only {len(per_worker)}/{args.workers} workers answered "
+                "the control channel"
+            )
+        breakdown = [p.get("commands", 0) for p in per_worker]
+        if sum(breakdown) != totals.get("commands"):
+            failures.append(
+                f"per-worker commands {breakdown} do not sum to totals "
+                f"{totals.get('commands')}"
+            )
+        if merged["supervisor"]["workers_respawned"] != 0:
+            failures.append(
+                "workers respawned during the soak: "
+                f"{merged['supervisor']['respawns_per_worker']}"
+            )
+
+        print(
+            f"soak: {args.sessions} sessions x {args.commands} commands "
+            f"across {args.workers} workers"
+        )
+        print(f"  per-worker commands: {breakdown}")
+        print(f"  router spread:       {merged['router']['routed_per_worker']}")
+        print(f"  merged totals:       commands={totals.get('commands')} "
+              f"sessions_opened={totals.get('sessions_opened')}")
+    finally:
+        await service.stop()
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("soak passed: merged stats consistent with issued work")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=12)
+    parser.add_argument("--workers", type=int, default=3)
+    parser.add_argument("--commands", type=int, default=40)
+    parser.add_argument(
+        "--io-latency", type=float, default=0.005, dest="io_latency",
+        help="modeled per-command device I/O, seconds",
+    )
+    args = parser.parse_args(argv)
+    return asyncio.run(soak(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,31 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonneg_float(text: str) -> float:
+    """Argparse type: a finite float >= 0 (exit 2 otherwise).
+
+    Latencies and other duration-flavoured knobs must reject ``-1``,
+    ``nan``, and ``inf`` at the argparse boundary — a negative sleep
+    raises deep inside asyncio and a NaN watermark comparison silently
+    never degrades, both far from the flag that caused them.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {text!r}"
+        ) from None
+    if value != value or value in (float("inf"), float("-inf")):
+        raise argparse.ArgumentTypeError(
+            f"expected a finite number, got {text!r}"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {value}"
+        )
+    return value
+
+
 def _workers_type(text: str) -> int:
     """Argparse type for ``--workers``: a positive integer or ``auto``.
 
@@ -438,6 +463,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve.server import GuardServer
 
+    if args.shard_workers is not None:
+        return _cmd_serve_sharded(args)
+    if args.metrics_port is not None:
+        print("error: --metrics-port requires --shard-workers", file=sys.stderr)
+        return 2
+
     server = GuardServer(
         max_sessions=args.sessions,
         queue_size=args.queue_size,
@@ -466,6 +497,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("guard service stopped")
+    return 0
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.shard import ShardConfig, ShardService, ShardUnsupportedError
+
+    config = ShardConfig(
+        workers=args.shard_workers,
+        socket=args.socket,
+        host=args.host,
+        port=args.port,
+        max_sessions=args.sessions,
+        queue_size=args.queue_size,
+        high_watermark=args.watermark,
+        max_batch=args.max_batch,
+        default_io_latency=args.io_latency,
+        metrics_port=args.metrics_port,
+        enable_obs=args.obs,
+    )
+    try:
+        service = ShardService(config)
+    except ShardUnsupportedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        await service.start()
+        if config.socket:
+            print(
+                f"sharded guard service listening on unix socket {config.socket}"
+            )
+        else:
+            print(f"sharded guard service listening on {config.host}:{config.port}")
+        print(
+            f"({config.workers} workers, max {config.max_sessions} sessions "
+            f"each, sweep queue {config.queue_size}, watermark "
+            f"{config.high_watermark}, batch <= {config.max_batch})"
+        )
+        if config.metrics_port is not None:
+            print(
+                f"metrics on http://{config.metrics_host}:{config.metrics_port}"
+                "/metrics (health: /healthz)"
+            )
+        try:
+            await asyncio.Event().wait()  # until interrupted
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("sharded guard service stopped")
     return 0
 
 
@@ -718,8 +803,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="max sweep jobs coalesced per batch (default: 16)",
     )
     p.add_argument(
-        "--io-latency", type=float, default=0.0, dest="io_latency",
+        "--io-latency", type=_nonneg_float, default=0.0, dest="io_latency",
         help="default per-command device I/O latency, seconds (default: 0)",
+    )
+    p.add_argument(
+        "--shard-workers", type=_positive_int, default=None, dest="shard_workers",
+        metavar="N",
+        help="shard the service across N forked worker processes "
+        "(default: single-process)",
+    )
+    p.add_argument(
+        "--metrics-port", type=_positive_int, default=None, dest="metrics_port",
+        metavar="PORT",
+        help="HTTP port for /metrics and /healthz (sharded mode only; "
+        "default: no endpoint)",
+    )
+    p.add_argument(
+        "--obs", action="store_true",
+        help="enable the observability layer inside shard workers "
+        "(full serve_* metric families on /metrics)",
     )
     p.set_defaults(fn=_cmd_serve)
 

@@ -23,21 +23,37 @@ users.  :mod:`repro.serve` is that front-end:
 - :mod:`repro.serve.journal` — the per-session verdict journal both the
   service and the in-process reference path emit; the differential suite
   pins the two byte-identical.
+- :mod:`repro.serve.shard` — the multi-process scale-out: a supervisor
+  forks N full worker services behind a deterministic session router,
+  with merged cross-worker stats and a scrapeable ``/metrics`` endpoint.
 
-Start one with ``python -m repro serve --socket /tmp/rabit.sock``.
+Start one with ``python -m repro serve --socket /tmp/rabit.sock``
+(add ``--shard-workers N`` to shard it).
 """
 
 from repro.serve.batcher import SweepBatcher
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import (
+    ServeClient,
+    ServeConnectionLost,
+    ServeError,
+    ServeUnavailableError,
+)
 from repro.serve.retry import RetryPolicy, retrying
-from repro.serve.server import GuardServer
+from repro.serve.server import GuardServer, SessionRejected
 from repro.serve.session import GuardSession
+from repro.serve.shard import ShardConfig, ShardService, ShardUnsupportedError
 
 __all__ = [
     "GuardServer",
     "GuardSession",
     "ServeClient",
+    "ServeConnectionLost",
     "ServeError",
+    "ServeUnavailableError",
+    "SessionRejected",
+    "ShardConfig",
+    "ShardService",
+    "ShardUnsupportedError",
     "SweepBatcher",
     "RetryPolicy",
     "retrying",

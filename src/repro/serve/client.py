@@ -24,11 +24,42 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.serve.protocol import ProtocolError, encode_message, read_message
 from repro.serve.retry import RetryPolicy, retrying
 
-__all__ = ["ServeClient", "ServeError"]
+__all__ = [
+    "ServeClient",
+    "ServeConnectionLost",
+    "ServeError",
+    "ServeUnavailableError",
+]
 
 
 class ServeError(Exception):
     """The service answered ``ok: false`` (or hung up mid-request)."""
+
+
+class ServeConnectionLost(ServeError, ConnectionError):
+    """The connection died mid-session (worker drain, crash, or restart).
+
+    Distinct from a verdict-level ``ok: false`` — the request may never
+    have reached the guard, so replaying it against a fresh connection
+    is safe and expected.  Subclassing :class:`ConnectionError` makes it
+    retry-eligible under the default :class:`~repro.serve.retry.RetryPolicy`
+    without any policy change.
+    """
+
+
+class ServeUnavailableError(ServeError, ConnectionError):
+    """The service refused the request but said to retry (``retryable: true``).
+
+    Carries the server's machine-readable ``code`` (e.g.
+    ``worker-unavailable`` while a crashed shard worker respawns,
+    ``draining`` during a graceful drain, ``session-limit`` at the
+    admission cap).  Subclasses :class:`ConnectionError` so the existing
+    retry policy treats it as the transient it is.
+    """
+
+    def __init__(self, message: str, code: str = "unavailable") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 #: Unix-socket connects surface a missing socket file as
@@ -84,16 +115,35 @@ class ServeClient:
     # -- request/response --------------------------------------------------
 
     async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """One round-trip; raises :class:`ServeError` on ``ok: false``."""
-        self._writer.write(encode_message(payload))
-        await self._writer.drain()
+        """One round-trip; raises :class:`ServeError` on ``ok: false``.
+
+        A connection that dies mid-request (worker drain or crash)
+        raises :class:`ServeConnectionLost` — retry-eligible — rather
+        than a bare :class:`ConnectionResetError`; a refusal stamped
+        ``retryable: true`` raises :class:`ServeUnavailableError`.
+        """
+        try:
+            self._writer.write(encode_message(payload))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise ServeConnectionLost(
+                f"connection lost while sending request: {exc}"
+            ) from exc
         try:
             response = await read_message(self._reader)
         except ProtocolError as exc:
             raise ServeError(f"malformed response: {exc}") from exc
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+            raise ServeConnectionLost(
+                f"connection lost awaiting response: {exc}"
+            ) from exc
         if response is None:
-            raise ServeError("connection closed by the service")
+            raise ServeConnectionLost("connection closed by the service")
         if not response.get("ok", False) and "error" in response:
+            if response.get("retryable"):
+                raise ServeUnavailableError(
+                    response["error"], code=str(response.get("code", "unavailable"))
+                )
             raise ServeError(response["error"])
         return response
 
@@ -109,13 +159,25 @@ class ServeClient:
         params: Optional[Dict[str, Any]] = None,
         tenant: str = "default",
         io_latency: Optional[float] = None,
+        key: Optional[str] = None,
+        worker: Optional[int] = None,
     ) -> int:
-        """Open this connection's session; returns the session id."""
+        """Open this connection's session; returns the session id.
+
+        Against a sharded service, *key* routes the session
+        deterministically (``shard_for(tenant, key) % N``) and *worker*
+        pins it to an explicit worker index; a single-process service
+        ignores both.
+        """
         payload: Dict[str, Any] = {"op": "open", "deck": deck, "tenant": tenant}
         if params:
             payload["params"] = params
         if io_latency is not None:
             payload["io_latency"] = io_latency
+        if key is not None:
+            payload["key"] = key
+        if worker is not None:
+            payload["worker"] = worker
         response = await self.request(payload)
         self.session_id = int(response["session"])
         return self.session_id

@@ -42,7 +42,23 @@ from repro.serve.batcher import SweepBatcher
 from repro.serve.protocol import ProtocolError, encode_message, read_message
 from repro.serve.session import DECK_BUILDERS, GuardSession, default_serve_options
 
-__all__ = ["GuardServer", "TenantRulebases"]
+__all__ = ["GuardServer", "SessionRejected", "TenantRulebases"]
+
+
+class SessionRejected(ValueError):
+    """A session open the service refused, with a machine-readable code.
+
+    ``retryable`` distinguishes transient refusals (admission cap hit,
+    worker draining before a respawn) from permanent ones; the wire
+    frame carries both fields so :class:`~repro.serve.client.ServeClient`
+    can raise the retry-eligible
+    :class:`~repro.serve.client.ServeUnavailableError` for the former.
+    """
+
+    def __init__(self, message: str, code: str, retryable: bool) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retryable = retryable
 
 _OBS_SESSIONS = OBS.registry.gauge(
     "serve_sessions_open", "Guard sessions currently open."
@@ -212,7 +228,11 @@ class GuardServer:
                 self.stats["sessions_rejected"] += 1
                 if OBS.enabled:
                     _OBS_REJECTED.inc(1)
-                return {"ok": False, "error": str(exc)}, None, True
+                refusal: Dict[str, Any] = {"ok": False, "error": str(exc)}
+                if isinstance(exc, SessionRejected):
+                    refusal["code"] = exc.code
+                    refusal["retryable"] = exc.retryable
+                return refusal, None, True
             return (
                 {"ok": True, "session": session.session_id, "deck": session.deck_name},
                 session,
@@ -256,8 +276,10 @@ class GuardServer:
 
     def _open_session(self, request: dict) -> GuardSession:
         if len(self.sessions) >= self.max_sessions:
-            raise ValueError(
-                f"session limit reached ({self.max_sessions}); retry later"
+            raise SessionRejected(
+                f"session limit reached ({self.max_sessions}); retry later",
+                code="session-limit",
+                retryable=True,
             )
         deck_name = str(request.get("deck", "hein"))
         if deck_name not in DECK_BUILDERS:

@@ -1,0 +1,57 @@
+"""Multi-process sharded guard service.
+
+One :class:`~repro.serve.server.GuardServer` process saturates at one
+event loop's worth of CPU; heavy lab fleets need more.  This package
+scales the service *out* without changing what it promises:
+
+- :mod:`~repro.serve.shard.supervisor` — :class:`ShardService` forks N
+  full worker services (fork-only, like :mod:`repro.parallel`), watches
+  them, respawns crashed ones, and merges their stats.
+- :mod:`~repro.serve.shard.router` — the public endpoint; resolves each
+  session's worker (pin > deterministic key hash > round-robin) and then
+  pipes bytes untouched, which is what keeps sharded journals
+  byte-identical to the single-process service.
+- :mod:`~repro.serve.shard.worker` — a :class:`GuardServer` subclass
+  adding the supervisor's control ops (stats / drain / shutdown).
+- :mod:`~repro.serve.shard.routing` — salted-``hash``-free
+  ``(tenant, key) → worker`` mapping, stable across processes and runs.
+- :mod:`~repro.serve.shard.merge` — deterministic worker-index-order
+  aggregation of stats and obs metric snapshots.
+- :mod:`~repro.serve.shard.http` — ``/metrics`` (Prometheus text) and
+  ``/healthz`` on ``--metrics-port``.
+
+Start one with ``python -m repro serve --shard-workers 4 --socket
+/tmp/rabit.sock --metrics-port 9115``.
+"""
+
+from repro.serve.shard.http import MetricsEndpoint
+from repro.serve.shard.merge import (
+    merge_numeric,
+    merge_obs_snapshots,
+    merged_view,
+    stats_to_gauges,
+)
+from repro.serve.shard.router import ShardRouter
+from repro.serve.shard.routing import shard_for, worker_socket_path
+from repro.serve.shard.supervisor import (
+    ShardConfig,
+    ShardService,
+    ShardUnsupportedError,
+)
+from repro.serve.shard.worker import ShardWorkerServer, worker_entry
+
+__all__ = [
+    "MetricsEndpoint",
+    "ShardConfig",
+    "ShardRouter",
+    "ShardService",
+    "ShardUnsupportedError",
+    "ShardWorkerServer",
+    "merge_numeric",
+    "merge_obs_snapshots",
+    "merged_view",
+    "shard_for",
+    "stats_to_gauges",
+    "worker_entry",
+    "worker_socket_path",
+]

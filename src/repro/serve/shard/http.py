@@ -1,0 +1,199 @@
+"""Scrapeable ``/metrics`` + ``/healthz`` for the sharded service.
+
+A deliberately tiny HTTP/1.0 responder on asyncio streams — enough for a
+Prometheus scrape loop and a load-balancer health check, with no web
+framework (the container has none, and a scrape endpoint needs none).
+One request per connection, ``Connection: close``, Content-Length always
+set.
+
+- ``GET /metrics`` — Prometheus text exposition of the merged
+  cross-worker view: every worker's obs registry merged series-by-series
+  (when workers run with observability enabled) plus ``shard_*`` gauges
+  flattened from the always-on stats totals and supervisor/router
+  counters.  Rendering reuses
+  :meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus` — the shard
+  layer adds merging, not a second exporter.
+- ``GET /healthz`` — canonical JSON; ``200`` when every worker process
+  is alive, ``503`` otherwise (the scrape body still enumerates
+  per-worker liveness and respawn counts so operators can see *which*
+  shard is flapping).
+
+Anything else is a ``404``, non-GET methods a ``405``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from repro.serve.shard.merge import (
+    merge_obs_snapshots,
+    merged_view,
+    stats_to_gauges,
+)
+from repro.trace.canon import canonical_bytes
+
+__all__ = ["MetricsEndpoint"]
+
+_MAX_REQUEST_BYTES = 8192
+
+
+class MetricsEndpoint:
+    """The supervisor's HTTP face: ``/metrics`` and ``/healthz``."""
+
+    def __init__(self, supervisor: Any) -> None:
+        self.supervisor = supervisor
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.stats = {"scrapes": 0, "health_checks": 0, "bad_requests": 0}
+
+    async def start(self, host: str, port: int) -> int:
+        """Listen on *host*:*port* (0 → ephemeral); return the bound port."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request_line = await reader.readuntil(b"\r\n")
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+                ConnectionError,
+            ):
+                return
+            if len(request_line) > _MAX_REQUEST_BYTES:
+                self.stats["bad_requests"] += 1
+                await self._respond(writer, 400, b"request line too long\n")
+                return
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                self.stats["bad_requests"] += 1
+                await self._respond(writer, 400, b"malformed request line\n")
+                return
+            method, path = parts[0], parts[1].split("?", 1)[0]
+            # Drain headers (ignored) so well-behaved clients aren't reset
+            # mid-write; cap total header bytes against abuse.
+            drained = 0
+            while drained < _MAX_REQUEST_BYTES:
+                try:
+                    line = await reader.readuntil(b"\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError,
+                    ConnectionError,
+                ):
+                    break
+                drained += len(line)
+                if line in (b"\r\n", b"\n"):
+                    break
+            if method != "GET":
+                self.stats["bad_requests"] += 1
+                await self._respond(writer, 405, b"method not allowed\n")
+            elif path == "/metrics":
+                self.stats["scrapes"] += 1
+                body = await self._metrics_body()
+                await self._respond(
+                    writer,
+                    200,
+                    body,
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/healthz":
+                self.stats["health_checks"] += 1
+                status, body = self._health_body()
+                await self._respond(
+                    writer, status, body, content_type="application/json"
+                )
+            else:
+                await self._respond(writer, 404, b"not found\n")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            405: "Method Not Allowed",
+            503: "Service Unavailable",
+        }.get(status, "OK")
+        head = (
+            f"HTTP/1.0 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - client gone
+            pass
+
+    # -- bodies ---------------------------------------------------------------
+
+    async def _metrics_body(self) -> bytes:
+        payloads = await self.supervisor.collect_worker_payloads()
+        registry = merge_obs_snapshots(
+            [p["obs"] for p in payloads if p is not None and p.get("obs")]
+        )
+        view = merged_view(
+            [p["stats"] if p is not None else None for p in payloads]
+        )
+        stats_to_gauges(registry, view["totals"], prefix="shard_")
+        stats_to_gauges(
+            registry,
+            self.supervisor.router.stats,
+            prefix="shard_router_",
+            help_text="Shard router counter.",
+        )
+        registry.gauge(
+            "shard_workers", "Configured worker count."
+        ).set(float(view["workers"]))
+        registry.gauge(
+            "shard_workers_alive", "Workers answering the control channel."
+        ).set(float(view["workers_alive"]))
+        registry.gauge(
+            "shard_workers_respawned",
+            "Workers respawned by the watchdog since service start.",
+        ).set(float(self.supervisor.stats["workers_respawned"]))
+        return registry.to_prometheus().encode("utf-8")
+
+    def _health_body(self) -> tuple:
+        flags = self.supervisor.alive_flags()
+        healthy = all(flags) and bool(flags)
+        payload = {
+            "ok": healthy,
+            "workers": len(flags),
+            "workers_alive": sum(flags),
+            "per_worker": [
+                {
+                    "index": handle.index,
+                    "alive": flags[handle.index],
+                    "draining": handle.draining,
+                    "respawns": handle.respawns,
+                }
+                for handle in self.supervisor.workers
+            ],
+        }
+        return (200 if healthy else 503), canonical_bytes(payload) + b"\n"

@@ -1,0 +1,144 @@
+"""Deterministic cross-worker aggregation of stats and obs metrics.
+
+Each shard worker owns its own :meth:`GuardServer.snapshot` counters and
+(optionally) its own :mod:`repro.obs` registry; the supervisor collects
+them over the control channel and merges them **in worker-index order**
+into one canonical view.  Determinism is the contract: given equal
+per-worker payloads, the merged view — and the Prometheus text rendered
+from it — is byte-identical regardless of collection timing, respawn
+history, or scrape interleaving.
+
+Merge rules:
+
+- numeric leaves are **summed** across workers, recursively, except
+  ``max_batch`` (a high-water mark, so the merge takes the **max**);
+- ``per_worker`` keeps every worker's own snapshot at its index (``None``
+  for a worker that was down at collection time), so the canonical view
+  never hides skew behind the totals;
+- obs registry snapshots merge series-by-series: counters and gauges sum
+  per labelled series, histograms sum their bucket/sum/count vectors
+  (buckets must agree — every worker runs the same code).
+
+The merged obs view is materialised into a *fresh*
+:class:`~repro.obs.metrics.MetricsRegistry`, so the existing Prometheus
+text exporter (:meth:`MetricsRegistry.to_prometheus`) renders the
+service-wide scrape without a second exporter implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "merge_numeric",
+    "merged_view",
+    "merge_obs_snapshots",
+    "stats_to_gauges",
+]
+
+#: Keys whose merge is a max, not a sum — per-worker high-water marks.
+_MAX_KEYS = frozenset({"max_batch"})
+
+
+def merge_numeric(payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum (or max, for high-water marks) numeric leaves across dicts.
+
+    Nested dicts merge recursively; non-numeric leaves keep the first
+    worker's value (they are configuration echoes like ``max_sessions``
+    that agree across workers by construction — and ``max_sessions``
+    itself is numeric and sums into total capacity).
+    """
+    merged: Dict[str, Any] = {}
+    for payload in payloads:
+        for key, value in payload.items():
+            if isinstance(value, dict):
+                merged[key] = merge_numeric(
+                    [merged[key], value] if isinstance(merged.get(key), dict)
+                    else [value]
+                )
+            elif isinstance(value, bool) or not isinstance(value, (int, float)):
+                merged.setdefault(key, value)
+            elif key in _MAX_KEYS:
+                merged[key] = max(merged.get(key, value), value)
+            else:
+                merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def merged_view(worker_stats: List[Optional[Dict[str, Any]]]) -> Dict[str, Any]:
+    """The canonical service-wide stats view, in worker-index order."""
+    alive = [stats for stats in worker_stats if stats is not None]
+    return {
+        "workers": len(worker_stats),
+        "workers_alive": len(alive),
+        "per_worker": list(worker_stats),
+        "totals": merge_numeric(alive),
+    }
+
+
+def merge_obs_snapshots(
+    snapshots: List[Dict[str, Any]], registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Merge per-worker obs registry snapshots into one fresh registry.
+
+    *snapshots* are :meth:`MetricsRegistry.snapshot` dicts in
+    worker-index order.  Series sums are order-independent, but the
+    registry's metric iteration (and therefore the Prometheus text) is
+    name-sorted, so the rendering is canonical either way.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    for snapshot in snapshots:
+        for name, data in snapshot.get("counters", {}).items():
+            for series in data.get("values", []):
+                counter = registry.counter(
+                    name, data.get("help", ""), tuple(series["labels"])
+                )
+                counter.inc(series["value"], **series["labels"])
+        for name, data in snapshot.get("gauges", {}).items():
+            for series in data.get("values", []):
+                gauge = registry.gauge(
+                    name, data.get("help", ""), tuple(series["labels"])
+                )
+                gauge.inc(series["value"], **series["labels"])
+        for name, data in snapshot.get("histograms", {}).items():
+            buckets = tuple(data.get("buckets", ()))
+            for series in data.get("values", []):
+                histogram = registry.histogram(
+                    name, data.get("help", ""), tuple(series["labels"]),
+                    buckets=buckets,
+                )
+                if tuple(histogram.buckets) != buckets:
+                    raise ValueError(
+                        f"histogram {name!r}: bucket mismatch across workers"
+                    )
+                slot = histogram._slot(histogram._key(series["labels"]))
+                counts = series["counts"]  # finite buckets + the +Inf bucket
+                for i, count in enumerate(counts):
+                    slot[i] += count
+                slot[-2] += series["sum"]
+                slot[-1] += series["count"]
+    return registry
+
+
+def stats_to_gauges(
+    registry: MetricsRegistry,
+    values: Dict[str, Any],
+    prefix: str = "shard_",
+    help_text: str = "Merged cross-worker service counter.",
+) -> None:
+    """Flatten a merged stats dict into ``<prefix><path>`` gauges.
+
+    Nested dicts flatten with ``_`` separators (``sweeps.batched`` →
+    ``shard_sweeps_batched``); non-numeric leaves are skipped.  Gauges
+    (not counters) because a respawned worker restarts its counts — the
+    merged series may legitimately move down.
+    """
+    for key, value in values.items():
+        if isinstance(value, dict):
+            stats_to_gauges(registry, value, f"{prefix}{key}_", help_text)
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            registry.gauge(f"{prefix}{key}", help_text).set(float(value))

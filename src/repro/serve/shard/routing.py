@@ -1,0 +1,46 @@
+"""Deterministic session→worker routing.
+
+A sharded service must send a reconnecting session back to the *same*
+worker every time — per-worker state (journals, tenant rulebase
+overlays, warm sweep engines) is only coherent shard-locally.  Python's
+builtin ``hash`` is salted per process, so the routing hash is a
+truncated SHA-256 over the canonical JSON of ``[tenant, key]``: equal
+``(tenant, key)`` pairs map to equal worker indices in every process, on
+every run, forever.
+
+Routing precedence (resolved by the router per ``open`` request):
+
+1. ``worker: i`` — explicit pinning override; the client names the
+   worker index outright (benchmarks and drain tests use this).
+2. ``key: "…"`` — deterministic: ``shard_for(tenant, key, N)``.
+3. neither — round-robin over the workers, because hashing every keyless
+   default-tenant session to one shard would defeat the point of
+   sharding.  Round-robin placement is *not* stable across reconnects;
+   clients that care pass a key.
+
+Worker sockets live next to the public socket (or in the supervisor's
+scratch directory for TCP front-ends) as ``<base>.w<index>``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.trace.canon import canonical_bytes
+
+__all__ = ["shard_for", "worker_socket_path"]
+
+
+def shard_for(tenant: str, key: str, workers: int) -> int:
+    """The worker index for ``(tenant, key)`` — pure, process-independent."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    digest = hashlib.sha256(canonical_bytes([tenant, key])).digest()
+    return int.from_bytes(digest[:8], "big") % workers
+
+
+def worker_socket_path(base: str, index: int) -> str:
+    """Where worker *index* of a service rooted at *base* listens."""
+    if index < 0:
+        raise ValueError("worker index must be >= 0")
+    return f"{base}.w{index}"

@@ -76,3 +76,57 @@ def test_serve_subcommand_is_wired(capsys):
     assert excinfo.value.code == 0
     out = capsys.readouterr().out
     assert "--sessions" in out and "--socket" in out
+
+
+# -- non-negative float knobs -------------------------------------------------
+
+
+def test_nonneg_float_accepts_and_rejects():
+    from repro.cli import _nonneg_float
+
+    assert _nonneg_float("0") == 0.0
+    assert _nonneg_float("0.015") == 0.015
+    assert _nonneg_float("2") == 2.0
+    for bad in ("-1", "-0.5"):
+        with pytest.raises(argparse.ArgumentTypeError, match="non-negative"):
+            _nonneg_float(bad)
+    for bad in ("nan", "inf", "-inf"):
+        with pytest.raises(argparse.ArgumentTypeError, match="finite"):
+            _nonneg_float(bad)
+    with pytest.raises(argparse.ArgumentTypeError, match="non-negative"):
+        _nonneg_float("fast")
+
+
+@pytest.mark.parametrize("value", ["-1", "-0.015", "nan", "inf", "garbage"])
+def test_serve_rejects_bad_io_latency(value, capsys):
+    code, err = _exit_code(["serve", "--io-latency", value], capsys)
+    assert code == 2
+    assert "--io-latency" in err
+
+
+# -- shard flags --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("flag", ["--shard-workers", "--metrics-port"])
+def test_shard_flags_reject_non_positive(flag, capsys):
+    code, err = _exit_code(["serve", flag, "0"], capsys)
+    assert code == 2
+    assert "positive integer" in err
+
+
+def test_shard_flags_are_wired(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "--shard-workers" in out
+    assert "--metrics-port" in out
+    assert "--obs" in out
+
+
+def test_metrics_port_requires_shard_mode(capsys):
+    # The flag parses, but the single-process path refuses it with the
+    # same exit code argparse uses for bad usage.
+    code = main(["serve", "--metrics-port", "9115"])
+    assert code == 2
+    assert "--shard-workers" in capsys.readouterr().err

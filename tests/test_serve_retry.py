@@ -127,3 +127,103 @@ def test_policy_validation():
         RetryPolicy(base_delay=-0.1)
     with pytest.raises(ValueError):
         RetryPolicy(jitter=-1.0)
+
+
+# -- the client's transient error taxonomy -----------------------------------
+#
+# The service can vanish mid-session (worker crash, drain, deploy).  The
+# client must surface that as a *distinct, retry-eligible* error — not a
+# bare ConnectionResetError from the guts of asyncio, and never a
+# generic ServeError the policy would refuse to retry.
+
+
+def test_connection_lost_is_a_retry_eligible_serve_error():
+    from repro.serve.client import (
+        ServeConnectionLost,
+        ServeError,
+        ServeUnavailableError,
+    )
+
+    # Both transients subclass ConnectionError, so the stock policy's
+    # transient set covers them with no policy changes.
+    assert issubclass(ServeConnectionLost, ServeError)
+    assert issubclass(ServeConnectionLost, ConnectionError)
+    assert issubclass(ServeUnavailableError, ServeError)
+    assert issubclass(ServeUnavailableError, ConnectionError)
+
+    slept = []
+    fn = Flaky(ServeConnectionLost("server went away mid-request"), failures=2)
+    wrapped = retrying(
+        RetryPolicy(attempts=4, jitter=0.0), sleep=_collecting_sleep(slept)
+    )(fn)
+    assert run(wrapped()) == "ok"
+    assert fn.calls == 3
+
+    fn = Flaky(
+        ServeUnavailableError("session limit reached", code="session-limit"),
+        failures=1,
+    )
+    wrapped = retrying(RetryPolicy(jitter=0.0), sleep=_collecting_sleep(slept))(fn)
+    assert run(wrapped()) == "ok"
+    assert fn.calls == 2
+
+
+def test_server_closing_mid_session_raises_connection_lost():
+    from repro.serve.client import ServeClient, ServeConnectionLost
+
+    async def scenario():
+        async def slam_after_open(reader, writer):
+            # Answer the open, then hang up without warning — the shape
+            # of a worker dying under a live session.
+            await reader.readline()
+            writer.write(b'{"ok":true,"session":1}\n')
+            await writer.drain()
+            await reader.readline()
+            writer.close()
+
+        server = await asyncio.start_server(slam_after_open, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            client = await ServeClient.open_tcp("127.0.0.1", port)
+            assert await client.open_session(deck="hein") == 1
+            with pytest.raises(ServeConnectionLost) as excinfo:
+                await client.request({"op": "command", "device": "ur3e"})
+            # The distinct type is what makes it retry-eligible; the
+            # message says what happened rather than leaking asyncio
+            # internals.
+            assert isinstance(excinfo.value, ConnectionError)
+            assert "connection" in str(excinfo.value).lower()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    run(scenario())
+
+
+def test_unavailable_refusal_carries_its_code():
+    from repro.serve.client import ServeClient, ServeUnavailableError
+
+    async def scenario():
+        async def refuse(reader, writer):
+            await reader.readline()
+            writer.write(
+                b'{"ok":false,"error":"worker 1 unavailable; retry shortly",'
+                b'"code":"worker-unavailable","retryable":true}\n'
+            )
+            await writer.drain()
+            await reader.readline()
+            writer.close()
+
+        server = await asyncio.start_server(refuse, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            client = await ServeClient.open_tcp("127.0.0.1", port)
+            with pytest.raises(ServeUnavailableError) as excinfo:
+                await client.open_session(deck="hein")
+            assert excinfo.value.code == "worker-unavailable"
+            await client.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    run(scenario())
